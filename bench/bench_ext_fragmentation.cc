@@ -1,0 +1,126 @@
+// Extension: MAC-level fragmentation.
+//
+// Part 1 — the classic trade-off the feature exists for: smaller
+// fragments slash the per-frame error probability, so past a BER around
+// 1e-3 (where whole-MSDU frames start dying faster than the retry limit
+// can save them) fragmentation wins — while on clean channels its
+// per-fragment PLCP/ACK overhead only hurts.
+//
+// Part 2 — the detection angle: fragments are the one case where an
+// honest ACK carries a nonzero NAV. The paper's strict "ACK NAV must be 0"
+// rule misfires on every fragment burst; the fragmentation-aware validator
+// accepts honest bursts while still catching a greedy receiver that hides
+// NAV inflation inside them.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/detect/nav_validator.h"
+
+using namespace g80211;
+using namespace g80211::bench;
+
+namespace {
+
+void throughput_part(benchmark::State& state) {
+  std::printf("Extension: fragmentation threshold vs goodput (single UDP flow)\n");
+  TableWriter table({"frag_bytes", "ber=0", "ber=6e-4", "ber=1.5e-3"}, 12);
+  table.print_header();
+  double clean_full = 0.0, lossy_full = 0.0, lossy_frag = 0.0;
+  for (const int threshold : {0, 256, 532}) {
+    std::vector<double> row{static_cast<double>(threshold)};
+    for (const double ber : {0.0, 6e-4, 1.5e-3}) {
+      const auto med = median_over_seeds(default_runs(), 3500, [&](std::uint64_t s) {
+        SimConfig cfg;
+        cfg.rts_cts = false;
+        cfg.default_ber = ber;
+        cfg.measure = default_measure();
+        cfg.seed = s;
+        Sim sim(cfg);
+        const PairLayout l = pairs_in_range(1);
+        Node& tx = sim.add_node(l.senders[0]);
+        Node& rx = sim.add_node(l.receivers[0]);
+        auto f = sim.add_udp_flow(tx, rx);
+        if (threshold > 0) tx.mac().set_fragmentation_threshold(threshold);
+        sim.run();
+        return std::vector<double>{f.goodput_mbps()};
+      });
+      row.push_back(med[0]);
+      if (threshold == 0 && ber == 0.0) clean_full = med[0];
+      if (threshold == 0 && ber == 1.5e-3) lossy_full = med[0];
+      if (threshold == 532 && ber == 1.5e-3) lossy_frag = med[0];
+    }
+    table.print_row(std::vector<double>(row.begin() + 1, row.end()),
+                    std::to_string(threshold));
+  }
+  std::printf(
+      "On a clean channel fragmentation only adds overhead; at BER 1.5e-3\n"
+      "the 532-byte threshold beats whole-MSDU frames (%0.2f -> %0.2f Mbps).\n\n",
+      lossy_full, lossy_frag);
+  state.counters["clean_unfragmented"] = clean_full;
+  state.counters["lossy_frag_gain"] = lossy_frag - lossy_full;
+}
+
+void detection_part(benchmark::State& state) {
+  std::printf(
+      "Extension: NAV validation under fragmentation (honest vs inflating GR)\n");
+  TableWriter table({"scenario", "strict_det", "aware_det"}, 13);
+  table.print_header();
+  double aware_honest = 0.0, aware_greedy = 0.0;
+  for (const bool greedy : {false, true}) {
+    const auto med = median_over_seeds(default_runs(), 3510, [&](std::uint64_t s) {
+      SimConfig cfg;
+      cfg.rts_cts = false;
+      cfg.measure = default_measure();
+      cfg.seed = s;
+      Sim sim(cfg);
+      const PairLayout l = pairs_in_range(2);
+      Node& ns = sim.add_node(l.senders[0]);
+      Node& gs = sim.add_node(l.senders[1]);
+      Node& nr = sim.add_node(l.receivers[0]);
+      Node& gr = sim.add_node(l.receivers[1]);
+      auto f1 = sim.add_udp_flow(ns, nr);
+      auto f2 = sim.add_udp_flow(gs, gr);
+      ns.mac().set_fragmentation_threshold(532);
+      gs.mac().set_fragmentation_threshold(532);
+      if (greedy) {
+        sim.make_nav_inflator(gr, NavFrameMask::ack_only(), milliseconds(5));
+      }
+      NavValidator strict(sim.scheduler(), sim.params());
+      NavValidator aware(sim.scheduler(), sim.params());
+      aware.assume_fragmentation = true;
+      strict.attach(nr.mac());
+      aware.attach(ns.mac());
+      sim.run();
+      (void)f1;
+      (void)f2;
+      return std::vector<double>{static_cast<double>(strict.detections()),
+                                 static_cast<double>(aware.detections())};
+    });
+    table.print_row({med[0], med[1]}, greedy ? "greedy" : "honest");
+    (greedy ? aware_greedy : aware_honest) = med[1];
+  }
+  std::printf(
+      "The strict rule cries wolf on honest bursts; the aware rule is\n"
+      "silent on honest traffic (%0.0f) yet still catches the inflator "
+      "(%0.0f detections).\n\n",
+      aware_honest, aware_greedy);
+  state.counters["aware_false_positives"] = aware_honest;
+  state.counters["aware_true_detections"] = aware_greedy;
+}
+
+void run(benchmark::State& state) {
+  throughput_part(state);
+  detection_part(state);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  register_once("Extension/Fragmentation", run);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Simulator performance: wall-clock cost of simulated time across
+// scenario sizes — the practical number a user needs to size parameter
+// sweeps. Unlike the per-figure benches (Iterations(1) experiment
+// drivers), these are real google-benchmark timings.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+using namespace g80211;
+using namespace g80211::bench;
+
+namespace {
+
+void BM_SaturatedUdpPairs(benchmark::State& state) {
+  const int n_pairs = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  double total = 0.0;
+  for (auto _ : state) {
+    SimConfig cfg;
+    cfg.measure = seconds(1);
+    cfg.warmup = milliseconds(100);
+    cfg.seed = seed++;
+    Sim sim(cfg);
+    const PairLayout l = pairs_in_range(n_pairs);
+    std::vector<Node*> senders, receivers;
+    for (int i = 0; i < n_pairs; ++i) senders.push_back(&sim.add_node(l.senders[i]));
+    for (int i = 0; i < n_pairs; ++i) receivers.push_back(&sim.add_node(l.receivers[i]));
+    std::vector<Sim::UdpFlow> flows;
+    for (int i = 0; i < n_pairs; ++i) {
+      flows.push_back(sim.add_udp_flow(*senders[i], *receivers[i]));
+    }
+    sim.run();
+    for (const auto& f : flows) total += f.goodput_mbps();
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["sim_seconds_per_wall_second"] =
+      benchmark::Counter(1.1 * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_TcpPair(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SimConfig cfg;
+    cfg.measure = seconds(1);
+    cfg.warmup = milliseconds(100);
+    cfg.seed = seed++;
+    Sim sim(cfg);
+    const PairLayout l = pairs_in_range(1);
+    Node& s = sim.add_node(l.senders[0]);
+    Node& r = sim.add_node(l.receivers[0]);
+    auto f = sim.add_tcp_flow(s, r);
+    sim.run();
+    benchmark::DoNotOptimize(f.goodput_mbps());
+  }
+  state.counters["sim_seconds_per_wall_second"] =
+      benchmark::Counter(1.1 * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_SaturatedUdpPairs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TcpPair)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

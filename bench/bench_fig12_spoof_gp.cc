@@ -1,0 +1,47 @@
+// Fig 12: ACK spoofing under a varying greedy percentage (how often GR
+// spoofs when it sniffs the victim's data) across low/moderate/high loss.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace g80211;
+using namespace g80211::bench;
+
+namespace {
+
+void run(benchmark::State& state) {
+  double gain_gp100_moderate = 0.0;
+  for (const double ber : {1e-5, 2e-4, 8e-4}) {
+    std::printf("Fig 12: ACK spoofing, greedy-percentage sweep, BER=%g (802.11b)\n",
+                ber);
+    TableWriter table({"gp_pct", "normal_mbps", "greedy_mbps"});
+    table.print_header();
+    for (const int gp : {0, 20, 40, 60, 80, 100}) {
+      PairsSpec spec;
+      spec.tcp = true;
+      spec.cfg = base_config();
+      spec.cfg.default_ber = ber;
+      spec.cfg.capture_threshold = 10.0;
+      spec.customize = [&](Sim& sim, std::vector<Node*>&, std::vector<Node*>& rx) {
+        if (gp > 0) sim.make_ack_spoofer(*rx[1], gp / 100.0, {rx[0]->id()});
+      };
+      const auto med = median_pair_goodputs(spec, default_runs(), 1300 + gp);
+      table.print_row({static_cast<double>(gp), med[0], med[1]});
+      if (gp == 100 && ber == 2e-4) gain_gp100_moderate = med[1] - med[0];
+    }
+    std::printf("\n");
+  }
+  state.counters["gain_gp100_ber2e-4"] = gain_gp100_moderate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  register_once("Fig12/SpoofGreedyPct", run);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig 16: remote TCP senders (wireless BER=2e-5) with the greedy
+// percentage and the wired latency both varying. The paper highlights that
+// around 200 ms, spoofing only 20% of sniffed DATA frames already costs
+// the victim most of its goodput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace g80211;
+using namespace g80211::bench;
+
+namespace {
+
+void run(benchmark::State& state) {
+  double victim_gp20_200ms = 0.0, victim_gp0_200ms = 0.0;
+  for (const Time latency : {milliseconds(2), milliseconds(50), milliseconds(200),
+                             milliseconds(400)}) {
+    std::printf("Fig 16: remote senders, GP sweep, wired latency %g ms\n",
+                to_millis(latency));
+    TableWriter table({"gp_pct", "normal_mbps", "greedy_mbps"});
+    table.print_header();
+    for (const int gp : {0, 20, 40, 60, 80, 100}) {
+      RemoteSpec spec;
+      spec.wired_latency = latency;
+      spec.cfg = base_config();
+      spec.cfg.default_ber = 2e-5;
+      spec.cfg.capture_threshold = 10.0;
+      spec.cfg.measure = std::max<Time>(default_measure(), 100 * latency);
+      spec.customize = [&](Sim& sim, Node&, std::vector<Node*>& clients) {
+        if (gp > 0) {
+          sim.make_ack_spoofer(*clients[1], gp / 100.0, {clients[0]->id()});
+        }
+      };
+      const auto med = median_over_seeds(
+          default_runs(), 1700 + gp, [&](std::uint64_t s) { return run_remote(spec, s); });
+      table.print_row({static_cast<double>(gp), med[0], med[1]});
+      if (latency == milliseconds(200) && gp == 0) victim_gp0_200ms = med[0];
+      if (latency == milliseconds(200) && gp == 20) victim_gp20_200ms = med[0];
+    }
+    std::printf("\n");
+  }
+  state.counters["victim_loss_pct_gp20_200ms"] =
+      victim_gp0_200ms > 0
+          ? 100.0 * (victim_gp0_200ms - victim_gp20_200ms) / victim_gp0_200ms
+          : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  register_once("Fig16/RemoteGreedyPct", run);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig 8: two TCP flows under 0, 1, or 2 greedy receivers for CTS NAV
+// inflations of 5, 10, 31 ms. With two cheaters, whoever grabs the medium
+// first keeps re-reserving it; the split becomes winner-takes-most.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace g80211;
+using namespace g80211::bench;
+
+namespace {
+
+void run(benchmark::State& state) {
+  std::printf("Fig 8: goodput under 0/1/2 greedy receivers (TCP, 802.11b)\n");
+  TableWriter table({"nav_inc_ms", "n_greedy", "flow1_mbps", "flow2_mbps"});
+  table.print_header();
+
+  double victim_with_one_greedy_31 = 0.0;
+  for (const Time inflation : {milliseconds(5), milliseconds(10), milliseconds(31)}) {
+    for (const int n_greedy : {0, 1, 2}) {
+      PairsSpec spec;
+      spec.tcp = true;
+      spec.cfg = base_config();
+      spec.customize = [&](Sim& sim, std::vector<Node*>&, std::vector<Node*>& rx) {
+        if (n_greedy >= 1) {
+          sim.make_nav_inflator(*rx[1], NavFrameMask::cts_only(), inflation);
+        }
+        if (n_greedy >= 2) {
+          sim.make_nav_inflator(*rx[0], NavFrameMask::cts_only(), inflation);
+        }
+      };
+      const auto med = median_pair_goodputs(spec, default_runs(), 800 + n_greedy);
+      table.print_row({to_millis(inflation), static_cast<double>(n_greedy),
+                       med[0], med[1]});
+      if (n_greedy == 1 && inflation == milliseconds(31)) {
+        victim_with_one_greedy_31 = med[0];
+      }
+    }
+  }
+  std::printf("\n");
+  state.counters["victim_mbps_1greedy_31ms"] = victim_with_one_greedy_31;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  register_once("Fig8/NumGreedyReceivers", run);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

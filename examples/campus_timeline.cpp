@@ -1,0 +1,79 @@
+// A narrative scenario: a small campus hotspot with mixed TCP/UDP
+// clients, where a greedy receiver switches its misbehavior on mid-run
+// and the operator deploys GRC halfway through the attack. Per-second
+// goodput timelines make the attack onset and the recovery visible.
+//
+//   $ ./build/examples/campus_timeline
+#include <cstdio>
+
+#include "src/analysis/sampler.h"
+#include "src/analysis/stats.h"
+#include "src/detect/grc.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+
+using namespace g80211;
+
+int main() {
+  SimConfig cfg;
+  cfg.warmup = seconds(0);
+  cfg.measure = seconds(18);
+  cfg.seed = 2026;
+  Sim sim(cfg);
+
+  // Three AP->client pairs: a TCP bulk download, a UDP stream, and the
+  // soon-to-be-greedy client's UDP download.
+  const PairLayout l = pairs_in_range(3);
+  Node& ap1 = sim.add_node(l.senders[0]);
+  Node& ap2 = sim.add_node(l.senders[1]);
+  Node& ap3 = sim.add_node(l.senders[2]);
+  Node& alice = sim.add_node(l.receivers[0]);   // TCP
+  Node& bob = sim.add_node(l.receivers[1]);     // UDP stream
+  Node& mallory = sim.add_node(l.receivers[2]); // greedy-to-be
+
+  auto tcp = sim.add_tcp_flow(ap1, alice);
+  auto stream = sim.add_udp_flow(ap2, bob, 4.0);
+  auto greedy = sim.add_udp_flow(ap3, mallory);
+
+  GoodputSampler alice_s(sim.scheduler(), seconds(1), [&] {
+    return static_cast<std::int64_t>(tcp.sink->segments() * 1024);
+  });
+  GoodputSampler bob_s(sim.scheduler(), seconds(1), [&] {
+    return stream.sink->payload_bytes_received();
+  });
+  GoodputSampler mallory_s(sim.scheduler(), seconds(1), [&] {
+    return greedy.sink->payload_bytes_received();
+  });
+  alice_s.start(0);
+  bob_s.start(0);
+  mallory_s.start(0);
+
+  // t = 6 s: Mallory turns greedy (10 ms CTS NAV inflation).
+  sim.scheduler().at(seconds(6), [&] {
+    sim.make_nav_inflator(mallory, NavFrameMask::cts_only(), milliseconds(10));
+  });
+  // t = 12 s: the operator rolls out GRC on the honest stations.
+  Grc grc(sim.scheduler(), sim.params(), {.spoof_detection = false});
+  sim.scheduler().at(seconds(12), [&] {
+    for (Node* n : {&ap1, &ap2, &ap3, &alice, &bob}) grc.protect(n->mac());
+  });
+
+  sim.run();
+
+  std::printf("Campus hotspot timeline (Mbps per second)\n");
+  std::printf("t=6s: Mallory begins inflating CTS NAVs; t=12s: GRC deployed\n\n");
+  std::printf("%4s %8s %8s %9s %10s\n", "sec", "alice", "bob", "mallory",
+              "fairness");
+  const auto& a = alice_s.series_mbps();
+  const auto& b = bob_s.series_mbps();
+  const auto& m = mallory_s.series_mbps();
+  const std::size_t n = std::min({a.size(), b.size(), m.size()});
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* phase = i < 6 ? "" : (i < 12 ? "  << attack" : "  << GRC");
+    std::printf("%4zu %8.2f %8.2f %9.2f %10.2f%s\n", i + 1, a[i], b[i], m[i],
+                jain_fairness({a[i], b[i], m[i]}), phase);
+  }
+  std::printf("\nGRC corrected %lld inflated NAVs after deployment.\n",
+              static_cast<long long>(grc.nav_detections()));
+  return 0;
+}

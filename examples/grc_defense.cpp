@@ -1,0 +1,119 @@
+// Demo: the Greedy Receiver Countermeasure (GRC) end to end.
+//
+//   $ ./build/examples/grc_defense
+//
+// Shows, for each misbehavior, the victim's goodput in three worlds:
+// honest, under attack, and under attack with the matching GRC detector
+// attached — plus what the detectors actually reported.
+#include <cstdio>
+
+#include "src/detect/fake_ack_detector.h"
+#include "src/detect/grc.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+
+using namespace g80211;
+
+namespace {
+
+void nav_defense() {
+  std::printf("1) NAV validation vs a 31 ms CTS inflator (UDP)\n");
+  for (const int mode : {0, 1, 2}) {  // honest, attack, attack+GRC
+    SimConfig cfg;
+    cfg.measure = seconds(5);
+    cfg.seed = 11;
+    Sim sim(cfg);
+    const PairLayout l = pairs_in_range(2);
+    Node& ns = sim.add_node(l.senders[0]);
+    Node& gs = sim.add_node(l.senders[1]);
+    Node& nr = sim.add_node(l.receivers[0]);
+    Node& gr = sim.add_node(l.receivers[1]);
+    auto fn = sim.add_udp_flow(ns, nr);
+    auto fg = sim.add_udp_flow(gs, gr);
+    if (mode >= 1) sim.make_nav_inflator(gr, NavFrameMask::cts_only(), milliseconds(31));
+    Grc grc(sim.scheduler(), sim.params(), {.spoof_detection = false});
+    if (mode == 2) {
+      for (Node* n : {&ns, &gs, &nr}) grc.protect(n->mac());
+    }
+    sim.run();
+    static const char* kLabel[] = {"honest    ", "attack    ", "attack+GRC"};
+    std::printf("   %s: victim %.3f | greedy %.3f Mbps", kLabel[mode],
+                fn.goodput_mbps(), fg.goodput_mbps());
+    if (mode == 2) {
+      std::printf("  [%lld inflated NAVs detected & corrected]",
+                  static_cast<long long>(grc.nav_detections()));
+    }
+    std::printf("\n");
+  }
+}
+
+void spoof_defense() {
+  std::printf("\n2) RSSI profiling vs an ACK spoofer (TCP, BER=2e-4)\n");
+  for (const int mode : {0, 1, 2}) {
+    SimConfig cfg;
+    cfg.measure = seconds(5);
+    cfg.seed = 11;
+    cfg.default_ber = 2e-4;
+    cfg.capture_threshold = 10.0;
+    Sim sim(cfg);
+    const PairLayout l = pairs_in_range(2);
+    Node& ns = sim.add_node(l.senders[0]);
+    Node& gs = sim.add_node(l.senders[1]);
+    Node& nr = sim.add_node(l.receivers[0]);
+    Node& gr = sim.add_node(l.receivers[1]);
+    auto fn = sim.add_tcp_flow(ns, nr);
+    auto fg = sim.add_tcp_flow(gs, gr);
+    if (mode >= 1) sim.make_ack_spoofer(gr, 1.0, {nr.id()});
+    SpoofDetector detector(1.0);
+    if (mode == 2) detector.attach(ns.mac());
+    sim.run();
+    static const char* kLabel[] = {"honest    ", "attack    ", "attack+GRC"};
+    std::printf("   %s: victim %.3f | greedy %.3f Mbps", kLabel[mode],
+                fn.goodput_mbps(), fg.goodput_mbps());
+    if (mode == 2) {
+      std::printf("  [spoofs caught: %lld, honest ACKs kept: %lld]",
+                  static_cast<long long>(detector.true_positives()),
+                  static_cast<long long>(detector.true_negatives()));
+    }
+    std::printf("\n");
+  }
+}
+
+void fake_ack_defense() {
+  std::printf("\n3) Ping probing vs a fake-ACKer (UDP, lossy link)\n");
+  for (const bool attack : {false, true}) {
+    SimConfig cfg;
+    cfg.measure = seconds(6);
+    cfg.seed = 11;
+    cfg.rts_cts = false;
+    Sim sim(cfg);
+    const PairLayout l = pairs_in_range(1);
+    Node& gs = sim.add_node(l.senders[0]);
+    Node& gr = sim.add_node(l.receivers[0]);
+    sim.channel().error_model().set_link_ber(
+        gs.id(), gr.id(),
+        ErrorModel::ber_for_fer(0.5, ErrorModel::error_len(FrameType::kData, 1064)));
+    auto f = sim.add_udp_flow(gs, gr, 1.0);
+    if (attack) sim.make_fake_acker(gr, 1.0);
+    FakeAckDetector::Config dc;
+    dc.probe_payload_bytes = 512;
+    FakeAckDetector detector(sim.scheduler(), gs, gr.id(), sim.reserve_flow_id(), dc);
+    detector.start(0);
+    sim.run();
+    std::printf("   %s: app loss %.2f vs MAC loss %.2f -> %s\n",
+                attack ? "attack" : "honest", detector.application_loss(),
+                detector.mac_loss(),
+                detector.detected() ? "FAKE ACKS DETECTED" : "looks honest");
+    (void)f;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Greedy Receiver Countermeasure (GRC) demo\n\n");
+  nav_defense();
+  spoof_defense();
+  fake_ack_defense();
+  return 0;
+}

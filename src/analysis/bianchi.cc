@@ -1,0 +1,83 @@
+#include "src/analysis/bianchi.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace g80211 {
+namespace {
+
+// Per-slot transmission probability for a given collision probability.
+double tau_of_p(double p, int w, int m) {
+  const double num = 2.0 * (1.0 - 2.0 * p);
+  const double den = (1.0 - 2.0 * p) * (w + 1) +
+                     p * w * (1.0 - std::pow(2.0 * p, m));
+  return num / den;
+}
+
+}  // namespace
+
+BianchiResult bianchi_saturation(const WifiParams& params,
+                                 const BianchiConfig& cfg) {
+  assert(cfg.n_stations >= 1);
+  const int w = params.cw_min + 1;
+  const int n = cfg.n_stations;
+
+  // Fixed point by bisection on p: f(p) = p - (1 - (1 - tau(p))^(n-1)) is
+  // increasing from negative at p=0 (for n >= 2).
+  double lo = 0.0, hi = 0.999999;
+  double p = 0.0, tau = tau_of_p(0.0, w, cfg.backoff_stages);
+  if (n > 1) {
+    for (int it = 0; it < 200; ++it) {
+      p = 0.5 * (lo + hi);
+      tau = tau_of_p(p, w, cfg.backoff_stages);
+      const double implied = 1.0 - std::pow(1.0 - tau, n - 1);
+      if (p < implied) {
+        lo = p;
+      } else {
+        hi = p;
+      }
+    }
+  } else {
+    p = 0.0;
+  }
+
+  BianchiResult out;
+  out.tau = tau;
+  out.p = p;
+
+  const double ptr = 1.0 - std::pow(1.0 - tau, n);
+  const double ps =
+      ptr > 0 ? n * tau * std::pow(1.0 - tau, n - 1) / ptr : 0.0;
+
+  const int packet = cfg.payload_bytes + cfg.header_bytes;
+  const double sifs = static_cast<double>(params.sifs);
+  const double difs = static_cast<double>(params.difs);
+  const double slot = static_cast<double>(params.slot);
+  const double data_t = static_cast<double>(params.data_tx_time(packet));
+  const double ack_t = static_cast<double>(params.ack_tx_time());
+  const double rts_t = static_cast<double>(params.rts_tx_time());
+  const double cts_t = static_cast<double>(params.cts_tx_time());
+
+  // Success/collision durations matched to this MAC's timing: a failed
+  // RTS (or DATA) is followed by the responder timeout before the channel
+  // is contended again.
+  double ts = 0.0, tc = 0.0;
+  if (cfg.rts_cts) {
+    ts = rts_t + sifs + cts_t + sifs + data_t + sifs + ack_t + difs;
+    tc = rts_t + static_cast<double>(params.cts_timeout()) + difs;
+  } else {
+    ts = data_t + sifs + ack_t + difs;
+    tc = data_t + static_cast<double>(params.ack_timeout()) + difs;
+  }
+
+  const double payload_bits = 8.0 * static_cast<double>(cfg.payload_bytes);
+  const double denom_ns =
+      (1.0 - ptr) * slot + ptr * ps * ts + ptr * (1.0 - ps) * tc;
+  if (denom_ns > 0.0) {
+    // bits per nanosecond -> Mbps (x1000).
+    out.throughput_mbps = ps * ptr * payload_bits / denom_ns * 1000.0;
+  }
+  return out;
+}
+
+}  // namespace g80211

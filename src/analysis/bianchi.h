@@ -1,0 +1,38 @@
+// Bianchi's saturation-throughput model of 802.11 DCF (G. Bianchi,
+// "Performance Analysis of the IEEE 802.11 Distributed Coordination
+// Function", IEEE JSAC 2000) — the canonical analytical companion to any
+// DCF simulator, used here to validate the honest baseline the paper's
+// attacks perturb.
+//
+// The model solves the fixed point between a station's per-slot
+// transmission probability tau and its conditional collision probability
+// p, then converts slot-level statistics into throughput:
+//   tau = 2(1-2p) / ((1-2p)(W+1) + pW(1-(2p)^m))
+//   p   = 1 - (1-tau)^(n-1)
+// with W = CWmin+1 and m retry stages. Throughput uses the standard
+// renewal argument over idle slots, successful exchanges and collisions.
+#pragma once
+
+#include "src/phy/wifi_params.h"
+
+namespace g80211 {
+
+struct BianchiResult {
+  double tau = 0.0;   // per-slot transmission probability
+  double p = 0.0;     // conditional collision probability
+  double throughput_mbps = 0.0;  // aggregate payload throughput
+};
+
+struct BianchiConfig {
+  int n_stations = 2;
+  int payload_bytes = 1024;  // application payload per frame
+  int header_bytes = 40;     // IP/transport headers
+  bool rts_cts = true;
+  int backoff_stages = 5;    // CWmax = 2^m (CWmin+1) - 1
+};
+
+// Solve the (tau, p) fixed point and evaluate aggregate throughput.
+BianchiResult bianchi_saturation(const WifiParams& params,
+                                 const BianchiConfig& cfg);
+
+}  // namespace g80211

@@ -1,0 +1,24 @@
+#include "src/analysis/fer.h"
+
+namespace g80211 {
+
+FerRow table3_row(double ber) {
+  FerRow row;
+  row.ber = ber;
+  row.ack_cts = ErrorModel::fer(ber, ErrorModel::error_len(FrameType::kAck, 0));
+  row.rts = ErrorModel::fer(ber, ErrorModel::error_len(FrameType::kRts, 0));
+  // TCP ACK packet: 40 bytes of headers; TCP DATA: 1024 + 40.
+  row.tcp_ack = ErrorModel::fer(ber, ErrorModel::error_len(FrameType::kData, 40));
+  row.tcp_data =
+      ErrorModel::fer(ber, ErrorModel::error_len(FrameType::kData, 1064));
+  return row;
+}
+
+std::vector<FerRow> table3() {
+  std::vector<FerRow> rows;
+  rows.reserve(kTable3Bers.size());
+  for (const double ber : kTable3Bers) rows.push_back(table3_row(ber));
+  return rows;
+}
+
+}  // namespace g80211

@@ -1,0 +1,28 @@
+// Analytic BER -> FER mapping for the paper's frame types (Table III).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/phy/error_model.h"
+
+namespace g80211 {
+
+struct FerRow {
+  double ber = 0.0;
+  double ack_cts = 0.0;
+  double rts = 0.0;
+  double tcp_ack = 0.0;
+  double tcp_data = 0.0;
+};
+
+// One row of Table III (1024-byte payload, 40-byte IP/transport headers).
+FerRow table3_row(double ber);
+
+// The BER values the paper tabulates.
+inline constexpr std::array<double, 5> kTable3Bers = {1e-5, 2e-4, 3.2e-4, 4.4e-4,
+                                                      8e-4};
+
+std::vector<FerRow> table3();
+
+}  // namespace g80211

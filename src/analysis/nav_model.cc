@@ -1,0 +1,55 @@
+#include "src/analysis/nav_model.h"
+
+#include <algorithm>
+
+namespace g80211 {
+namespace {
+
+// Pr[A <= B + offset] with A ~ U{0..ma}, B ~ U{0..mb} independent.
+double pr_le_uniform(int ma, int mb, int offset) {
+  double favourable = 0.0;
+  for (int b = 0; b <= mb; ++b) {
+    const int bound = b + offset;  // A must be <= bound
+    if (bound < 0) continue;
+    favourable += static_cast<double>(std::min(ma, bound) + 1);
+  }
+  return favourable /
+         (static_cast<double>(ma + 1) * static_cast<double>(mb + 1));
+}
+
+// Pr[A <= B + offset] marginalised over both CW distributions.
+double pr_le(const CwDistribution& a, const CwDistribution& b, int offset) {
+  double total = 0.0;
+  for (const auto& [ma, pa] : a) {
+    for (const auto& [mb, pb] : b) {
+      total += pa * pb * pr_le_uniform(ma, mb, offset);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+CwDistribution normalize_histogram(const std::map<int, std::int64_t>& hist) {
+  std::int64_t total = 0;
+  for (const auto& [cw, n] : hist) total += n;
+  CwDistribution dist;
+  if (total == 0) return dist;
+  dist.reserve(hist.size());
+  for (const auto& [cw, n] : hist) {
+    dist.emplace_back(cw, static_cast<double>(n) / static_cast<double>(total));
+  }
+  return dist;
+}
+
+SendProbabilities nav_inflation_send_prob(const CwDistribution& gs_cw,
+                                          const CwDistribution& ns_cw,
+                                          int v_slots) {
+  SendProbabilities out;
+  if (gs_cw.empty() || ns_cw.empty()) return out;
+  out.gs = pr_le(gs_cw, ns_cw, v_slots + 1);   // B_GS <= B_NS + v + 1
+  out.ns = pr_le(ns_cw, gs_cw, -v_slots + 1);  // B_NS <= B_GS - v + 1
+  return out;
+}
+
+}  // namespace g80211

@@ -1,0 +1,51 @@
+// Analytical model of NAV inflation under saturated UDP (paper Section V-A,
+// Equations (1) and (2), evaluated in Fig 3).
+//
+// Setup: GS (the greedy receiver's sender) and NS (a normal sender) are both
+// saturated. GR inflates NAV by v timeslots, so GS starts its countdown v
+// slots earlier than NS each round. With backoff B uniform on [0, CW] and a
+// one-slot carrier-sensing granularity:
+//   Pr[GS sends] = Pr[B_GS <= B_NS + v + 1]
+//   Pr[NS sends] = Pr[B_NS <= B_GS - v + 1]
+// marginalised over the empirical contention-window distributions of the
+// two senders (collected from Backoff::cw_histogram()).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/phy/wifi_params.h"
+
+namespace g80211 {
+
+// Pr[CW = m] as (m, probability) pairs.
+using CwDistribution = std::vector<std::pair<int, double>>;
+
+CwDistribution normalize_histogram(const std::map<int, std::int64_t>& hist);
+
+struct SendProbabilities {
+  double gs = 0.0;  // Pr[GS transmits in a round]
+  double ns = 0.0;  // Pr[NS transmits in a round]
+
+  // Fraction of rounds in which the transmitting station is GS, given at
+  // least one transmits — the "sending ratio" of Fig 3.
+  double gs_ratio() const {
+    const double total = gs + ns;
+    return total <= 0.0 ? 0.0 : gs / total;
+  }
+};
+
+SendProbabilities nav_inflation_send_prob(const CwDistribution& gs_cw,
+                                          const CwDistribution& ns_cw,
+                                          int v_slots);
+
+// Closed-form starvation threshold: once the inflation reaches CWmin
+// slots, B_GS <= CWmin <= B_NS + v holds for every draw, so GS wins every
+// round and NS starves completely. In time units that is CWmin slots —
+// 620 us on 802.11b, matching Fig 1's observation that +0.6 ms suffices.
+inline Time nav_starvation_threshold(const WifiParams& params) {
+  return static_cast<Time>(params.cw_min) * params.slot;
+}
+
+}  // namespace g80211

@@ -1,0 +1,47 @@
+// Per-interval goodput time series: samples a monotone byte counter every
+// `interval` and records Mbps per interval. Used to watch an attack bite
+// and a countermeasure recover over time, rather than only in aggregate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+
+class GoodputSampler {
+ public:
+  GoodputSampler(Scheduler& sched, Time interval,
+                 std::function<std::int64_t()> byte_counter)
+      : interval_(interval),
+        counter_(std::move(byte_counter)),
+        timer_(sched, [this] { sample(); }) {}
+
+  void start(Time at) {
+    last_bytes_ = counter_();
+    timer_.start_at(at + interval_);
+  }
+
+  // One entry per elapsed interval, in Mbps.
+  const std::vector<double>& series_mbps() const { return series_; }
+
+ private:
+  void sample() {
+    const std::int64_t now_bytes = counter_();
+    const double mbps = static_cast<double>(now_bytes - last_bytes_) * 8.0 /
+                        to_seconds(interval_) / 1e6;
+    series_.push_back(mbps);
+    last_bytes_ = now_bytes;
+    timer_.start(interval_);
+  }
+
+  Time interval_;
+  std::function<std::int64_t()> counter_;
+  std::int64_t last_bytes_ = 0;
+  std::vector<double> series_;
+  Timer timer_;
+};
+
+}  // namespace g80211

@@ -1,0 +1,79 @@
+#include "src/analysis/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace g80211 {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    std::nth_element(v.begin(), v.begin() + mid - 1, v.begin() + mid);
+    m = (m + v[mid - 1]) / 2.0;
+  }
+  return m;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (const double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples) {
+  std::vector<CdfPoint> cdf;
+  if (samples.empty()) return cdf;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i + 1 < samples.size() && samples[i + 1] == samples[i]) continue;
+    cdf.push_back({samples[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+double cdf_at(const std::vector<CdfPoint>& cdf, double x) {
+  double frac = 0.0;
+  for (const auto& p : cdf) {
+    if (p.x > x) break;
+    frac = p.fraction;
+  }
+  return frac;
+}
+
+double jain_fairness(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;  // everyone has zero: trivially fair
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+}  // namespace g80211

@@ -1,0 +1,32 @@
+// Small statistics toolkit used by the experiment harness: medians
+// (the paper reports the median of 5 runs), means, percentiles, and
+// empirical CDFs (Fig 21).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace g80211 {
+
+double mean(const std::vector<double>& v);
+double median(std::vector<double> v);  // by value: needs to reorder
+double percentile(std::vector<double> v, double p);  // p in [0, 100]
+double stddev(const std::vector<double>& v);
+
+struct CdfPoint {
+  double x = 0.0;
+  double fraction = 0.0;  // P(X <= x)
+};
+
+// Empirical CDF sampled at each distinct data point.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples);
+
+// Fraction of samples <= x.
+double cdf_at(const std::vector<CdfPoint>& cdf, double x);
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1 = perfectly fair,
+// 1/n = one flow has everything. The canonical summary of how badly a
+// greedy receiver skews the allocation.
+double jain_fairness(const std::vector<double>& allocations);
+
+}  // namespace g80211

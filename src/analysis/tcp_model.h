@@ -1,0 +1,48 @@
+// PFTK steady-state TCP throughput model (Padhye, Firoiu, Towsley,
+// Kurose, SIGCOMM'98) — the analytical companion to the ACK-spoofing
+// results. A spoofed MAC ACK converts every wireless frame loss into a
+// TCP segment loss, so the victim's throughput is TCP-over-loss-rate-p
+// with p = the data frame error rate; PFTK turns that into numbers:
+//
+//   B(p) = MSS / (RTT*sqrt(2bp/3) + t_RTO*min(1, 3*sqrt(3bp/8))*p*(1+32p^2))
+//
+// (b = segments per ACK; 1 here, no delayed ACKs). The same formula with
+// p = FER^(maxRetries+1) describes the honest flow, whose MAC hides all
+// but consecutive-loss events — the contrast IS the attack.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/time.h"
+
+namespace g80211 {
+
+struct PftkConfig {
+  int mss_bytes = 1024;
+  Time rtt = milliseconds(6);       // measured round trip incl. MAC service
+  Time rto = milliseconds(200);     // the sender's minimum RTO in practice
+  double segments_per_ack = 1.0;    // no delayed ACKs (ns-2 setup)
+  double max_window = 128.0;        // receiver window cap, segments
+};
+
+// Steady-state throughput in Mbps at segment loss probability p.
+inline double pftk_throughput_mbps(const PftkConfig& cfg, double p) {
+  const double mss_bits = 8.0 * static_cast<double>(cfg.mss_bytes);
+  const double rtt_s = to_seconds(cfg.rtt);
+  if (p <= 0.0) {
+    // Loss-free: window-limited.
+    return cfg.max_window * mss_bits / rtt_s / 1e6;
+  }
+  p = std::min(p, 0.999);
+  const double b = cfg.segments_per_ack;
+  const double rto_s = to_seconds(cfg.rto);
+  const double fast = rtt_s * std::sqrt(2.0 * b * p / 3.0);
+  const double slow = rto_s * std::min(1.0, 3.0 * std::sqrt(3.0 * b * p / 8.0)) *
+                      p * (1.0 + 32.0 * p * p);
+  const double bps = mss_bits / (fast + slow);
+  // Window cap still applies.
+  return std::min(bps, cfg.max_window * mss_bits / rtt_s) / 1e6;
+}
+
+}  // namespace g80211

@@ -1,0 +1,86 @@
+#include "src/detect/backoff_monitor.h"
+
+#include <utility>
+
+namespace g80211 {
+
+void BackoffMonitor::attach(Mac& mac) {
+  auto prev_edge = std::move(mac.channel_observer);
+  mac.channel_observer = [this, prev = std::move(prev_edge)](bool busy) {
+    if (prev) prev(busy);
+    on_edge(busy);
+  };
+  auto prev_sniffer = std::move(mac.sniffer);
+  mac.sniffer = [this, prev = std::move(prev_sniffer)](const Frame& f,
+                                                       const RxInfo& info) {
+    if (prev) prev(f, info);
+    on_frame(f, info);
+  };
+}
+
+void BackoffMonitor::on_edge(bool busy) {
+  if (!busy) {
+    idle_since_ = sched_->now();
+  }
+}
+
+void BackoffMonitor::on_frame(const Frame& frame, const RxInfo& info) {
+  if (info.corrupted || frame.ta == kNoAddr) return;
+  if (frame.type != FrameType::kRts && frame.type != FrameType::kData) return;
+  if (idle_since_ == kNever || info.start < idle_since_) return;
+
+  // Idle gap preceding this transmission. SIFS responses (gap < DIFS) and
+  // stale bookkeeping are ignored.
+  const Time gap = info.start - idle_since_ - params_.difs;
+  if (gap < 0) return;
+  const double slots = static_cast<double>(gap) / static_cast<double>(params_.slot);
+  if (slots > static_cast<double>(params_.cw_max)) return;
+
+  auto& p = profiles_[frame.ta];
+  if (p.ewma_slots < 0) {
+    p.ewma_slots = slots;
+  } else {
+    p.ewma_slots += cfg_.ewma_alpha * (slots - p.ewma_slots);
+  }
+  ++p.n;
+}
+
+double BackoffMonitor::observed_backoff(int station) const {
+  const auto it = profiles_.find(station);
+  return it == profiles_.end() ? -1.0 : it->second.ewma_slots;
+}
+
+std::int64_t BackoffMonitor::samples(int station) const {
+  const auto it = profiles_.find(station);
+  return it == profiles_.end() ? 0 : it->second.n;
+}
+
+double BackoffMonitor::tx_share(int station) const {
+  std::int64_t total = 0;
+  for (const auto& [s, p] : profiles_) {
+    (void)s;
+    total += p.n;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(samples(station)) / static_cast<double>(total);
+}
+
+bool BackoffMonitor::flagged(int station) const {
+  const auto it = profiles_.find(station);
+  if (it == profiles_.end() || it->second.n < cfg_.min_samples) return false;
+  const double nominal = static_cast<double>(params_.cw_min) / 2.0;
+  if (it->second.ewma_slots >= cfg_.threshold_fraction * nominal) return false;
+  const double fair = 1.0 / static_cast<double>(profiles_.size());
+  return tx_share(station) > cfg_.share_factor * fair;
+}
+
+std::vector<int> BackoffMonitor::cheaters() const {
+  std::vector<int> out;
+  for (const auto& [station, p] : profiles_) {
+    (void)p;
+    if (flagged(station)) out.push_back(station);
+  }
+  return out;
+}
+
+}  // namespace g80211

@@ -1,0 +1,75 @@
+// DOMINO-style greedy-*sender* detection (Raya, Hubaux & Aad, MobiSys'04 —
+// the sender-side counterpart the paper positions itself against, included
+// here as the baseline detector).
+//
+// An observer (typically the AP) measures the "actual backoff" of each
+// contending station: the idle time between the medium going idle and that
+// station's next transmission start, minus DIFS, in slots. A station is
+// flagged as a backoff cheater when BOTH hold:
+//   * its smoothed actual backoff falls below `threshold_fraction` of the
+//     nominal expectation (CWmin/2), and
+//   * it claims more than `share_factor / num_stations` of the observed
+//     transmissions.
+// The share condition handles the freeze/resume sampling bias DOMINO's
+// authors also had to engineer around: a station starved by a cheater only
+// gets to transmit when its *residual* counter happens to be tiny, so its
+// per-access gaps look just as small as the cheater's — but its share of
+// the channel is tiny while the cheater's is dominant.
+//
+// The observer only attributes frames that carry a transmitter address
+// (RTS/DATA), and only counts gaps that plausibly contain a full
+// deference (ignoring SIFS responses).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/mac/mac.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+
+class BackoffMonitor {
+ public:
+  struct Config {
+    double threshold_fraction = 0.5;  // flag below this fraction of CWmin/2
+    int min_samples = 20;             // per station, before judging
+    double ewma_alpha = 0.05;
+    double share_factor = 1.3;        // x the fair share of transmissions
+  };
+
+  BackoffMonitor(Scheduler& sched, const WifiParams& params, Config cfg)
+      : sched_(&sched), params_(params), cfg_(cfg) {}
+  BackoffMonitor(Scheduler& sched, const WifiParams& params)
+      : BackoffMonitor(sched, params, Config{}) {}
+
+  // Install on the observer's MAC (chains sniffer and channel_observer).
+  void attach(Mac& mac);
+
+  // Smoothed observed backoff (slots) for a station; negative if unknown.
+  double observed_backoff(int station) const;
+  std::int64_t samples(int station) const;
+  // Fraction of all attributed transmissions that came from this station.
+  double tx_share(int station) const;
+  bool flagged(int station) const;
+  // Every station currently flagged.
+  std::vector<int> cheaters() const;
+
+ private:
+  void on_edge(bool busy);
+  void on_frame(const Frame& frame, const RxInfo& info);
+
+  struct Profile {
+    double ewma_slots = -1.0;
+    std::int64_t n = 0;
+  };
+
+  Scheduler* sched_;
+  WifiParams params_;
+  Config cfg_;
+  Time idle_since_ = kNever;  // when the medium last went idle
+  std::map<int, Profile> profiles_;
+};
+
+}  // namespace g80211

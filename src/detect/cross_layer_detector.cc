@@ -1,0 +1,22 @@
+#include "src/detect/cross_layer_detector.h"
+
+#include <utility>
+
+namespace g80211 {
+
+void CrossLayerDetector::attach(Mac& mac, TcpSender& tcp) {
+  flow_id_ = tcp.flow_id();
+  auto prev_done = std::move(mac.tx_done_cb);
+  mac.tx_done_cb = [this, prev = std::move(prev_done)](const PacketPtr& p,
+                                                       bool acked) {
+    if (prev) prev(p, acked);
+    if (acked && p && p->flow_id == flow_id_ && !p->tcp.is_ack) {
+      mac_acked_.insert(p->tcp.seq);
+    }
+  };
+  tcp.on_retransmit = [this](std::int64_t seq) {
+    if (mac_acked_.count(seq)) ++suspicious_;
+  };
+}
+
+}  // namespace g80211

@@ -1,0 +1,39 @@
+// GRC cross-layer spoofed-ACK detection for mobile clients
+// (paper Section VII-B, last paragraph).
+//
+// When a client's RSSI varies too much for the physical-layer profile, the
+// sender can instead correlate layers: it records which TCP segments were
+// acknowledged at the MAC, and counts TCP-level retransmissions of
+// segments the MAC claims were delivered. Assuming wireline loss is much
+// smaller than wireless loss, such events indicate a spoofed MAC ACK.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "src/mac/mac.h"
+#include "src/transport/tcp_sender.h"
+
+namespace g80211 {
+
+class CrossLayerDetector {
+ public:
+  // Flag the flow as under attack after this many suspicious events.
+  explicit CrossLayerDetector(std::int64_t detection_threshold = 5)
+      : threshold_(detection_threshold) {}
+
+  // Wire to the sender MAC and the TCP sender of one flow.
+  void attach(Mac& mac, TcpSender& tcp);
+
+  std::int64_t suspicious_retransmissions() const { return suspicious_; }
+  std::int64_t mac_acked_segments() const { return static_cast<std::int64_t>(mac_acked_.size()); }
+  bool detected() const { return suspicious_ >= threshold_; }
+
+ private:
+  std::int64_t threshold_;
+  int flow_id_ = -1;
+  std::set<std::int64_t> mac_acked_;  // TCP segments the MAC saw ACKed
+  std::int64_t suspicious_ = 0;
+};
+
+}  // namespace g80211

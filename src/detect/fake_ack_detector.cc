@@ -1,0 +1,82 @@
+#include "src/detect/fake_ack_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace g80211 {
+
+FakeAckDetector::FakeAckDetector(Scheduler& sched, Node& sender, int dest_node,
+                                 int flow_id, Config cfg)
+    : sched_(&sched),
+      sender_(&sender),
+      dest_node_(dest_node),
+      flow_id_(flow_id),
+      cfg_(cfg),
+      timer_(sched, [this] { emit_probe(); }) {
+  sender.register_sink(flow_id, this);
+}
+
+void FakeAckDetector::start(Time at) {
+  running_ = true;
+  timer_.start_at(at);
+}
+
+void FakeAckDetector::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void FakeAckDetector::emit_probe() {
+  if (!running_) return;
+  auto p = std::make_shared<Packet>();
+  p->flow_id = flow_id_;
+  p->uid = next_uid_++;
+  p->seq = sent_;
+  p->size_bytes = cfg_.probe_payload_bytes + 40;
+  p->src_node = sender_->id();
+  p->dst_node = dest_node_;
+  p->created = sched_->now();
+  p->is_probe = true;
+  const std::int64_t seq = sent_++;
+  // A probe only counts toward the loss estimate once its reply has had a
+  // fair chance to come back.
+  sched_->after(cfg_.reply_grace, [this, seq] {
+    ++matured_;
+    if (replied_.count(seq)) {
+      ++matured_replied_;
+      replied_.erase(seq);
+    }
+  });
+  sender_->send_packet(std::move(p));
+  timer_.start(cfg_.probe_interval);
+}
+
+void FakeAckDetector::receive(const PacketPtr& packet) {
+  if (packet->is_probe && packet->probe_reply) {
+    ++replies_;
+    replied_.insert(packet->seq);
+  }
+}
+
+double FakeAckDetector::application_loss() const {
+  if (matured_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(matured_replied_) / static_cast<double>(matured_);
+}
+
+double FakeAckDetector::mac_loss() const {
+  // The retry fraction among DATA attempts toward the destination is a
+  // consistent estimator of the per-attempt loss probability.
+  return sender_->mac().dest_counters(dest_node_).retry_fraction();
+}
+
+double FakeAckDetector::expected_app_loss() const {
+  const int max_retries = sender_->mac().params().long_retry_limit;
+  return std::pow(mac_loss(), max_retries + 1);
+}
+
+bool FakeAckDetector::detected() const {
+  if (matured_ < 20) return false;  // not enough evidence yet
+  return application_loss() > expected_app_loss() + cfg_.threshold;
+}
+
+}  // namespace g80211

@@ -1,0 +1,70 @@
+// GRC fake-ACK detection (paper Section VII-C).
+//
+// A sender compares the MAC-layer loss it observes toward a receiver with
+// the application-layer loss measured by active probing (ping). With
+// independent losses and an honest receiver,
+//     applicationLoss ~= MACLoss^(maxRetries+1),
+// because a packet only fails end-to-end if every MAC attempt fails. A
+// receiver that fakes ACKs drives the observed MAC loss toward zero while
+// probes keep failing (a corrupted probe cannot be echoed), so
+//     applicationLoss > MACLoss^(maxRetries+1) + threshold
+// exposes the misbehavior. The threshold absorbs wireline loss when the
+// path leaves the WLAN.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "src/net/node.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+
+class FakeAckDetector : public PacketSink {
+ public:
+  struct Config {
+    Time probe_interval = milliseconds(20);
+    int probe_payload_bytes = 64;
+    double threshold = 0.05;       // tolerance for wireline loss
+    Time reply_grace = seconds(1); // probes younger than this aren't counted lost
+  };
+
+  // `flow_id` must be unique to this detector's probe stream.
+  FakeAckDetector(Scheduler& sched, Node& sender, int dest_node, int flow_id,
+                  Config cfg);
+  FakeAckDetector(Scheduler& sched, Node& sender, int dest_node, int flow_id)
+      : FakeAckDetector(sched, sender, dest_node, flow_id, Config{}) {}
+
+  void start(Time at);
+  void stop();
+
+  // PacketSink: probe replies.
+  void receive(const PacketPtr& packet) override;
+
+  double application_loss() const;
+  double mac_loss() const;  // per-attempt loss estimate toward dest
+  double expected_app_loss() const;  // MACLoss^(maxRetries+1)
+  bool detected() const;
+
+  std::int64_t probes_sent() const { return sent_; }
+  std::int64_t replies() const { return replies_; }
+
+ private:
+  void emit_probe();
+
+  Scheduler* sched_;
+  Node* sender_;
+  int dest_node_;
+  int flow_id_;
+  Config cfg_;
+  Timer timer_;
+  bool running_ = false;
+  std::int64_t sent_ = 0;
+  std::int64_t matured_ = 0;       // probes past the reply grace period
+  std::int64_t matured_replied_ = 0;
+  std::int64_t replies_ = 0;
+  std::set<std::int64_t> replied_;  // probe seqs answered so far
+  std::uint64_t next_uid_ = 1;
+};
+
+}  // namespace g80211

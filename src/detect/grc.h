@@ -1,0 +1,72 @@
+// Greedy Receiver Countermeasure (GRC) — convenience bundle that attaches
+// the paper's detection/mitigation pipeline (Fig 20) to a station:
+//   * NAV validation (Section VII-A) on every station that overhears,
+//   * RSSI-based spoofed-ACK detection with recovery (Section VII-B) on
+//     senders.
+// The cross-layer and fake-ACK detectors have their own wiring needs
+// (a TCP flow, a probe stream) and are attached separately.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/detect/nav_validator.h"
+#include "src/detect/spoof_detector.h"
+#include "src/mac/mac.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+
+struct GrcConfig {
+  bool nav_validation = true;
+  bool spoof_detection = true;
+  double rssi_threshold_db = 1.0;
+};
+
+class Grc {
+ public:
+  Grc(Scheduler& sched, const WifiParams& params, GrcConfig cfg = {})
+      : sched_(&sched), params_(params), cfg_(cfg) {}
+
+  // Attach the configured detectors to a station's MAC. Can be called for
+  // any number of stations ("the more nodes implementing the detection
+  // scheme, the higher likelihood of detection").
+  void protect(Mac& mac) {
+    if (cfg_.nav_validation) {
+      nav_validators_.push_back(std::make_unique<NavValidator>(*sched_, params_));
+      nav_validators_.back()->attach(mac);
+    }
+    if (cfg_.spoof_detection) {
+      spoof_detectors_.push_back(
+          std::make_unique<SpoofDetector>(cfg_.rssi_threshold_db));
+      spoof_detectors_.back()->attach(mac);
+    }
+  }
+
+  std::int64_t nav_detections() const {
+    std::int64_t n = 0;
+    for (const auto& v : nav_validators_) n += v->detections();
+    return n;
+  }
+  std::int64_t spoof_detections() const {
+    std::int64_t n = 0;
+    for (const auto& d : spoof_detectors_) n += d->flagged();
+    return n;
+  }
+
+  const std::vector<std::unique_ptr<NavValidator>>& nav_validators() const {
+    return nav_validators_;
+  }
+  const std::vector<std::unique_ptr<SpoofDetector>>& spoof_detectors() const {
+    return spoof_detectors_;
+  }
+
+ private:
+  Scheduler* sched_;
+  WifiParams params_;
+  GrcConfig cfg_;
+  std::vector<std::unique_ptr<NavValidator>> nav_validators_;
+  std::vector<std::unique_ptr<SpoofDetector>> spoof_detectors_;
+};
+
+}  // namespace g80211

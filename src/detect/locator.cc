@@ -1,0 +1,65 @@
+#include "src/detect/locator.h"
+
+#include <cmath>
+#include <utility>
+
+namespace g80211 {
+
+void GreedyLocator::attach(Mac& mac) {
+  auto prev = std::move(mac.sniffer);
+  mac.sniffer = [this, prev = std::move(prev)](const Frame& f, const RxInfo& info) {
+    if (prev) prev(f, info);
+    if (!info.corrupted && f.ta != kNoAddr &&
+        (f.type == FrameType::kRts || f.type == FrameType::kData)) {
+      monitor_.add_sample(f.ta, info.rssi_dbm);
+      known_[f.ta] = true;
+    }
+  };
+}
+
+std::optional<int> GreedyLocator::locate(double rssi_dbm) const {
+  std::optional<int> best;
+  double best_dist = 0.0, second_dist = 0.0;
+  bool have_second = false;
+  for (const auto& [station, seen] : known_) {
+    (void)seen;
+    const auto med = monitor_.median(station);
+    if (!med.has_value()) continue;
+    const double dist = std::abs(rssi_dbm - *med);
+    if (!best.has_value() || dist < best_dist) {
+      if (best.has_value()) {
+        second_dist = best_dist;
+        have_second = true;
+      }
+      best = station;
+      best_dist = dist;
+    } else if (!have_second || dist < second_dist) {
+      second_dist = dist;
+      have_second = true;
+    }
+  }
+  if (!best.has_value()) return std::nullopt;
+  if (have_second && second_dist - best_dist < margin_db_) {
+    return std::nullopt;  // ambiguous: two stations equally plausible
+  }
+  return best;
+}
+
+void GreedyLocator::accuse(double rssi_dbm) {
+  const auto who = locate(rssi_dbm);
+  if (who.has_value()) ++accusations_[*who];
+}
+
+std::optional<int> GreedyLocator::prime_suspect() const {
+  std::optional<int> best;
+  std::int64_t most = 0;
+  for (const auto& [station, n] : accusations_) {
+    if (n > most) {
+      most = n;
+      best = station;
+    }
+  }
+  return best;
+}
+
+}  // namespace g80211

@@ -1,0 +1,49 @@
+// Greedy-receiver localisation (paper Section VII-A: "We can further
+// locate the greedy receiver using received signal strength measurement
+// from it").
+//
+// Inflated CTS/ACK frames carry no transmitter address, so detection alone
+// cannot name the culprit. The locator keeps per-station RSSI profiles
+// (learned from frames that do carry a TA) and attributes an offending
+// frame to the station whose profile median is nearest its measured RSSI —
+// provided the match is unambiguous (the runner-up is at least
+// `margin_db` farther).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/detect/rssi_monitor.h"
+#include "src/mac/mac.h"
+
+namespace g80211 {
+
+class GreedyLocator {
+ public:
+  explicit GreedyLocator(double margin_db = 1.0) : margin_db_(margin_db) {}
+
+  // Install on an observer MAC: learns RSSI profiles from addressed frames.
+  void attach(Mac& mac);
+
+  // Best-effort attribution of a frame with measured RSSI `rssi_dbm`;
+  // nullopt when no profile matches unambiguously.
+  std::optional<int> locate(double rssi_dbm) const;
+
+  // Record an offending frame (called by the experiment harness whenever a
+  // NAV validator fires); tallies per-station accusations.
+  void accuse(double rssi_dbm);
+  const std::map<int, std::int64_t>& accusations() const { return accusations_; }
+  // The station accused most often (nullopt if none).
+  std::optional<int> prime_suspect() const;
+
+  RssiMonitor& monitor() { return monitor_; }
+
+ private:
+  double margin_db_;
+  RssiMonitor monitor_;
+  std::map<int, std::int64_t> accusations_;
+  std::map<int, bool> known_;  // stations with profiles
+};
+
+}  // namespace g80211

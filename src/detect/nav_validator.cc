@@ -1,0 +1,95 @@
+#include "src/detect/nav_validator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/mac/durations.h"
+
+namespace g80211 {
+
+void NavValidator::observe(const Frame& frame, const RxInfo& info) {
+  if (info.corrupted) return;
+  if (frame.type == FrameType::kRts && frame.ta != kNoAddr) {
+    // Remember the exchange context. Bound the stored duration so an
+    // inflated RTS cannot launder inflation into the expected CTS.
+    const Time bounded = std::min(frame.duration, Durations::max_rts(params_));
+    rts_by_ta_[frame.ta] = RtsSeen{bounded, sched_->now()};
+  }
+  if (frame.type == FrameType::kData) {
+    last_data_more_ = frame.more_frags;
+    last_data_bytes_ = frame.air_bytes();
+    last_data_end_ = info.end;
+  }
+}
+
+Time NavValidator::expected_duration(const Frame& frame) const {
+  switch (frame.type) {
+    case FrameType::kRts:
+      return std::min(frame.duration, Durations::max_rts(params_));
+    case FrameType::kCts: {
+      // The CTS's RA is the RTS transmitter; if we heard that RTS recently
+      // we know the exact remaining exchange time.
+      const auto it = rts_by_ta_.find(frame.ra);
+      const Time window = params_.sifs + params_.cts_tx_time() + 2 * params_.slot;
+      if (it != rts_by_ta_.end() && sched_->now() - it->second.heard_at <= window) {
+        return std::min(frame.duration,
+                        Durations::cts_from_rts(params_, it->second.duration));
+      }
+      return std::min(frame.duration, Durations::max_cts(params_));
+    }
+    case FrameType::kData: {
+      if (assume_fragmentation && frame.more_frags) {
+        // A non-final fragment reserves through the next fragment's ACK;
+        // fragments are threshold-sized, so the next one is no larger.
+        const Time bound = 3 * params_.sifs + 2 * params_.ack_tx_time() +
+                           params_.data_tx_time(frame.air_bytes());
+        return std::min(frame.duration, bound);
+      }
+      // A (final or unfragmented) data frame's NAV only covers SIFS + ACK.
+      return std::min(frame.duration, Durations::data(params_));
+    }
+    case FrameType::kAck: {
+      if (!assume_fragmentation) {
+        // Without fragmentation the NAV in an ACK is always 0.
+        return 0;
+      }
+      // Fragment-burst ACK: if we overheard the eliciting fragment we know
+      // whether more are coming and how big they can be (fragments are
+      // threshold-sized, so the next is no larger than the last).
+      const Time window = params_.sifs + params_.ack_tx_time() + 2 * params_.slot;
+      if (last_data_end_ != kNever && sched_->now() - last_data_end_ <= window) {
+        if (!last_data_more_) return 0;
+        const Time bound = 2 * params_.sifs + params_.ack_tx_time() +
+                           params_.data_tx_time(last_data_bytes_);
+        return std::min(frame.duration, bound);
+      }
+      // Out of range of the data: bound by the largest legal fragment.
+      return std::min(frame.duration, Durations::max_cts(params_));
+    }
+  }
+  return frame.duration;
+}
+
+Time NavValidator::validate(const Frame& frame, const RxInfo& /*info*/) {
+  ++validated_;
+  const Time expected = expected_duration(frame);
+  if (frame.duration > expected + tolerance) {
+    ++detections_;
+    ++detections_by_node_[frame.true_tx];  // ground-truth attribution
+  }
+  return expected;
+}
+
+void NavValidator::attach(Mac& mac) {
+  auto prev_sniffer = std::move(mac.sniffer);
+  mac.sniffer = [this, prev = std::move(prev_sniffer)](const Frame& f,
+                                                       const RxInfo& info) {
+    if (prev) prev(f, info);
+    observe(f, info);
+  };
+  mac.nav_filter = [this](const Frame& f, const RxInfo& info) {
+    return validate(f, info);
+  };
+}
+
+}  // namespace g80211

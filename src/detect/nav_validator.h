@@ -1,0 +1,73 @@
+// GRC inflated-NAV detection and mitigation (paper Section VII-A).
+//
+// Two observer classes, both handled here:
+//  (1) Nodes that overheard the eliciting frame know the correct response
+//      NAV exactly: a CTS answering an RTS must carry
+//      RTS.Duration - SIFS - T_CTS; a DATA frame's NAV only covers its
+//      ACK (SIFS + T_ACK); an ACK's NAV is 0 without fragmentation.
+//  (2) Nodes outside the sender's range bound the NAV by the largest legal
+//      exchange, assuming the 1500-byte Internet MTU.
+// Recovery: the validator returns the expected/bounded duration, which the
+// MAC uses for its NAV instead of the inflated value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/mac/mac.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+
+class NavValidator {
+ public:
+  NavValidator(Scheduler& sched, const WifiParams& params)
+      : sched_(&sched), params_(params) {}
+
+  // Install on any station: chains onto the sniffer (to learn exchange
+  // context from overheard RTS frames) and takes over the nav_filter.
+  // At most one validator per MAC (the nav_filter is owned, not chained).
+  void attach(Mac& mac);
+
+  // Core rule: the Duration this observer should actually honour.
+  Time expected_duration(const Frame& frame) const;
+
+  // Tolerance before a frame is counted as a detection (absorbs rounding).
+  Time tolerance = microseconds(2);
+
+  // The paper assumes no fragmentation, so "NAV in ACK should always be
+  // 0". When the network uses fragmentation, a non-final fragment's ACK
+  // legitimately reserves through the next fragment; enabling this bounds
+  // such ACKs instead of zeroing them (exactly: when the eliciting
+  // fragment was overheard; by the MTU exchange otherwise).
+  bool assume_fragmentation = false;
+
+  std::int64_t detections() const { return detections_; }
+  // Ground-truth attribution (true transmitter -> count), evaluation only.
+  const std::map<int, std::int64_t>& detections_by_node() const {
+    return detections_by_node_;
+  }
+  std::int64_t frames_validated() const { return validated_; }
+
+ private:
+  void observe(const Frame& frame, const RxInfo& info);
+  Time validate(const Frame& frame, const RxInfo& info);
+
+  struct RtsSeen {
+    Time duration = 0;  // already bounded by the max-MTU RTS rule
+    Time heard_at = 0;
+  };
+
+  Scheduler* sched_;
+  WifiParams params_;
+  std::map<int, RtsSeen> rts_by_ta_;  // RTS transmitter -> context
+  // Most recent overheard DATA frame (fragment-burst context for ACKs).
+  bool last_data_more_ = false;
+  int last_data_bytes_ = 0;
+  Time last_data_end_ = kNever;
+  std::int64_t detections_ = 0;
+  std::int64_t validated_ = 0;
+  std::map<int, std::int64_t> detections_by_node_;
+};
+
+}  // namespace g80211

@@ -1,0 +1,28 @@
+#include "src/detect/rssi_monitor.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace g80211 {
+
+void RssiMonitor::add_sample(int peer, double rssi_dbm) {
+  auto& h = history_[peer];
+  h.push_back(rssi_dbm);
+  if (h.size() > window_) h.pop_front();
+}
+
+std::optional<double> RssiMonitor::median(int peer) const {
+  const auto it = history_.find(peer);
+  if (it == history_.end() || it->second.empty()) return std::nullopt;
+  std::vector<double> v(it->second.begin(), it->second.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  return v[mid];
+}
+
+std::size_t RssiMonitor::samples(int peer) const {
+  const auto it = history_.find(peer);
+  return it == history_.end() ? 0 : it->second.size();
+}
+
+}  // namespace g80211

@@ -1,0 +1,31 @@
+// Per-peer RSSI history with sliding-window median — the physical-layer
+// profile the GRC spoofed-ACK detector compares incoming ACKs against
+// (paper Section VII-B, Fig 21).
+//
+// Samples come only from frames that carry an authenticated transmitter
+// address (RTS/DATA — e.g. the victim's TCP ACK data frames); CTS/ACK
+// frames are never used to learn a profile, since they are the very frames
+// an attacker can forge.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+namespace g80211 {
+
+class RssiMonitor {
+ public:
+  explicit RssiMonitor(std::size_t window = 64) : window_(window) {}
+
+  void add_sample(int peer, double rssi_dbm);
+  std::optional<double> median(int peer) const;
+  std::size_t samples(int peer) const;
+
+ private:
+  std::size_t window_;
+  std::map<int, std::deque<double>> history_;
+};
+
+}  // namespace g80211

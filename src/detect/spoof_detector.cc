@@ -1,0 +1,37 @@
+#include "src/detect/spoof_detector.h"
+
+#include <cmath>
+#include <utility>
+
+namespace g80211 {
+
+bool SpoofDetector::should_ignore(int peer, double rssi_dbm) const {
+  const auto med = monitor_.median(peer);
+  if (!med.has_value()) return false;  // no profile yet: accept
+  return std::abs(rssi_dbm - *med) > threshold_db_;
+}
+
+void SpoofDetector::attach(Mac& mac) {
+  auto prev_sniffer = std::move(mac.sniffer);
+  mac.sniffer = [this, prev = std::move(prev_sniffer)](const Frame& f,
+                                                       const RxInfo& info) {
+    if (prev) prev(f, info);
+    // Learn RSSI profiles only from frames with an authenticated TA.
+    if (!info.corrupted && f.ta != kNoAddr &&
+        (f.type == FrameType::kRts || f.type == FrameType::kData)) {
+      monitor_.add_sample(f.ta, info.rssi_dbm);
+    }
+  };
+  mac.ack_filter = [this](const Frame& ack, const RxInfo& info, int peer) {
+    const bool ignore = should_ignore(peer, info.rssi_dbm);
+    const bool actually_spoofed = ack.true_tx != peer;  // ground truth only
+    if (ignore) {
+      (actually_spoofed ? tp_ : fp_)++;
+    } else {
+      (actually_spoofed ? fn_ : tn_)++;
+    }
+    return recovery_enabled && ignore;
+  };
+}
+
+}  // namespace g80211

@@ -1,0 +1,55 @@
+// GRC spoofed-ACK detection and recovery (paper Section VII-B).
+//
+// Attached at a *sender*: learns the RSSI profile of each peer from frames
+// carrying that peer's transmitter address, and flags a received MAC ACK
+// as spoofed when |RSSI - median(peer)| > threshold (the paper finds 1 dB
+// gives both low false positives and low false negatives, Fig 22).
+// Recovery: a flagged ACK is ignored, so the MAC retransmits as it should
+// have.
+//
+// For evaluation the detector also keeps a ground-truth confusion matrix
+// using the frame's bookkeeping-only true transmitter; detection decisions
+// themselves never use it.
+#pragma once
+
+#include <cstdint>
+
+#include "src/detect/rssi_monitor.h"
+#include "src/mac/mac.h"
+
+namespace g80211 {
+
+class SpoofDetector {
+ public:
+  explicit SpoofDetector(double threshold_db = 1.0) : threshold_db_(threshold_db) {}
+
+  // Install on a sender MAC: chains onto the sniffer (profile learning) and
+  // takes over the ack_filter (decision + recovery).
+  void attach(Mac& mac);
+
+  // When false, the detector only classifies and keeps statistics; flagged
+  // ACKs are still accepted (no forced retransmission). Used to evaluate
+  // detectors side by side without them masking each other's evidence.
+  bool recovery_enabled = true;
+
+  // Decision primitive (also used standalone in tests/benches): should this
+  // ACK, expected from `peer` with measured `rssi_dbm`, be ignored?
+  bool should_ignore(int peer, double rssi_dbm) const;
+
+  RssiMonitor& monitor() { return monitor_; }
+  double threshold_db() const { return threshold_db_; }
+
+  // Ground-truth evaluation counters.
+  std::int64_t true_positives() const { return tp_; }
+  std::int64_t false_positives() const { return fp_; }
+  std::int64_t true_negatives() const { return tn_; }
+  std::int64_t false_negatives() const { return fn_; }
+  std::int64_t flagged() const { return tp_ + fp_; }
+
+ private:
+  double threshold_db_;
+  RssiMonitor monitor_;
+  std::int64_t tp_ = 0, fp_ = 0, tn_ = 0, fn_ = 0;
+};
+
+}  // namespace g80211

@@ -1,0 +1,15 @@
+#include "src/greedy/ack_spoofing.h"
+
+namespace g80211 {
+
+bool AckSpoofingPolicy::spoof_ack_for(const Frame& data, const RxInfo& info,
+                                      Rng& rng) {
+  if (data.type != FrameType::kData) return false;
+  if (info.corrupted && !spoof_on_corrupted) return false;
+  if (!victims_.empty() && !victims_.count(data.ra)) return false;
+  if (!rng.chance(gp_)) return false;
+  ++decisions_;
+  return true;
+}
+
+}  // namespace g80211

@@ -1,0 +1,42 @@
+// Misbehavior 2: spoofing MAC ACKs on behalf of other receivers
+// (paper Section IV-B).
+//
+// Running in promiscuous mode, the greedy receiver answers DATA frames
+// destined to victim stations with a MAC ACK (possible because 802.11 ACKs
+// carry no transmitter address). If the victim's copy was lost, the
+// spoofed ACK suppresses the MAC retransmission and the loss is pushed up
+// to TCP. When both the victim's real ACK and the spoof are transmitted,
+// physical capture resolves them (the paper's evaluation setup).
+//
+// `victims` restricts spoofing to specific receiver addresses (empty =
+// spoof for every foreign DATA frame). `spoof_on_corrupted` also answers
+// sniffed frames that arrived corrupted at the greedy receiver but whose
+// MAC addresses survived — the attacker cannot know whether the victim
+// received them, which is exactly why the attack works.
+#pragma once
+
+#include <set>
+
+#include "src/greedy/policy.h"
+
+namespace g80211 {
+
+class AckSpoofingPolicy : public GreedyPolicy {
+ public:
+  explicit AckSpoofingPolicy(double greedy_percentage = 1.0,
+                             std::set<int> victims = {})
+      : gp_(greedy_percentage), victims_(std::move(victims)) {}
+
+  bool spoof_on_corrupted = true;
+
+  bool spoof_ack_for(const Frame& data, const RxInfo& info, Rng& rng) override;
+
+  std::int64_t spoof_decisions() const { return decisions_; }
+
+ private:
+  double gp_;
+  std::set<int> victims_;
+  std::int64_t decisions_ = 0;
+};
+
+}  // namespace g80211

@@ -1,0 +1,54 @@
+// Composition of greedy behaviors. A determined attacker is not limited
+// to one trick: it can inflate NAVs on the feedback frames it sends AND
+// spoof competitors' ACKs AND fake-ACK its own corrupted traffic. The
+// composite consults its children in order: duration adjustments chain
+// (each child sees the previous child's output, the MAC clamps the final
+// value), boolean hooks OR together.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/greedy/policy.h"
+
+namespace g80211 {
+
+class CompositePolicy : public GreedyPolicy {
+ public:
+  // Add a child policy (owned).
+  void add(std::unique_ptr<GreedyPolicy> policy) {
+    children_.push_back(std::move(policy));
+  }
+  // Convenience: construct a child in place and return a reference.
+  template <typename P, typename... Args>
+  P& emplace(Args&&... args) {
+    auto p = std::make_unique<P>(std::forward<Args>(args)...);
+    P& ref = *p;
+    children_.push_back(std::move(p));
+    return ref;
+  }
+
+  std::size_t size() const { return children_.size(); }
+
+  Time adjust_duration(FrameType type, Time duration, Rng& rng) override {
+    for (auto& c : children_) duration = c->adjust_duration(type, duration, rng);
+    return duration;
+  }
+  bool spoof_ack_for(const Frame& data, const RxInfo& info, Rng& rng) override {
+    for (auto& c : children_) {
+      if (c->spoof_ack_for(data, info, rng)) return true;
+    }
+    return false;
+  }
+  bool fake_ack_for(const Frame& data, const RxInfo& info, Rng& rng) override {
+    for (auto& c : children_) {
+      if (c->fake_ack_for(data, info, rng)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::unique_ptr<GreedyPolicy>> children_;
+};
+
+}  // namespace g80211

@@ -1,0 +1,40 @@
+#include "src/greedy/cts_jammer.h"
+
+namespace g80211 {
+
+CtsJammer::CtsJammer(Scheduler& sched, Node& node, Config cfg)
+    : sched_(&sched), node_(&node), cfg_(cfg), timer_(sched, [this] { emit(); }) {}
+
+void CtsJammer::start(Time at) {
+  running_ = true;
+  started_at_ = at;
+  timer_.start_at(at);
+}
+
+void CtsJammer::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void CtsJammer::emit() {
+  if (!running_) return;
+  if (!node_->phy().transmitting()) {
+    Frame cts;
+    cts.type = FrameType::kCts;
+    cts.ra = cfg_.fake_ra;
+    cts.duration = std::min(cfg_.nav, WifiParams::kMaxNav);
+    const Time airtime = node_->mac().params().cts_tx_time();
+    node_->phy().transmit(cts, airtime);
+    airtime_used_ += airtime;
+    ++sent_;
+  }
+  timer_.start(cfg_.period);
+}
+
+double CtsJammer::airtime_fraction() const {
+  const Time elapsed = sched_->now() - started_at_;
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(airtime_used_) / static_cast<double>(elapsed);
+}
+
+}  // namespace g80211

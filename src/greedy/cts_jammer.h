@@ -1,0 +1,52 @@
+// Virtual-carrier-sense DoS attacker (Bellardo & Savage, USENIX Sec'03 —
+// reference [2] of the paper): a station with no traffic of its own that
+// periodically injects unsolicited CTS frames carrying a large Duration,
+// addressed to a nonexistent station, so every honest NAV in range stays
+// pinned.
+//
+// The paper contrasts this attacker with its greedy receiver: the DoS
+// needs large NAV values injected continuously (and gains nothing), while
+// a greedy receiver piggybacks small inflations on feedback frames it
+// sends anyway — and profits. bench_ext_dos_comparison quantifies that.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/node.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+
+class CtsJammer {
+ public:
+  struct Config {
+    Time period = milliseconds(30);        // injection interval
+    Time nav = WifiParams::kMaxNav;        // Duration carried by each CTS
+    int fake_ra = 9999;                    // nonexistent addressee
+  };
+
+  CtsJammer(Scheduler& sched, Node& node, Config cfg);
+  CtsJammer(Scheduler& sched, Node& node)
+      : CtsJammer(sched, node, Config{}) {}
+
+  void start(Time at);
+  void stop();
+
+  std::int64_t cts_sent() const { return sent_; }
+  // Fraction of wall-clock the attacker's own transmissions occupy.
+  double airtime_fraction() const;
+
+ private:
+  void emit();
+
+  Scheduler* sched_;
+  Node* node_;
+  Config cfg_;
+  Timer timer_;
+  bool running_ = false;
+  std::int64_t sent_ = 0;
+  Time started_at_ = 0;
+  Time airtime_used_ = 0;
+};
+
+}  // namespace g80211

@@ -1,0 +1,12 @@
+#include "src/greedy/fake_ack.h"
+
+namespace g80211 {
+
+bool FakeAckPolicy::fake_ack_for(const Frame& data, const RxInfo& info, Rng& rng) {
+  if (data.type != FrameType::kData || !info.corrupted) return false;
+  if (!rng.chance(gp_)) return false;
+  ++fakes_;
+  return true;
+}
+
+}  // namespace g80211

@@ -1,0 +1,29 @@
+// Misbehavior 3: sending fake ACKs for corrupted frames addressed to the
+// greedy receiver itself (paper Section IV-C).
+//
+// The MAC only consults this policy when the corrupted frame's MAC
+// addresses survived (the paper's Table I shows this is the common case),
+// so the feasibility constraint is modelled physically rather than assumed.
+// Faking an ACK prevents the sender from doubling its contention window,
+// keeping its access rate high. With probability `greedy_percentage` per
+// corrupted frame (the paper's GP knob, Fig 18).
+#pragma once
+
+#include "src/greedy/policy.h"
+
+namespace g80211 {
+
+class FakeAckPolicy : public GreedyPolicy {
+ public:
+  explicit FakeAckPolicy(double greedy_percentage = 1.0) : gp_(greedy_percentage) {}
+
+  bool fake_ack_for(const Frame& data, const RxInfo& info, Rng& rng) override;
+
+  std::int64_t fakes() const { return fakes_; }
+
+ private:
+  double gp_;
+  std::int64_t fakes_ = 0;
+};
+
+}  // namespace g80211

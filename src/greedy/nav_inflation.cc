@@ -1,0 +1,26 @@
+#include "src/greedy/nav_inflation.h"
+
+namespace g80211 {
+
+bool NavInflationPolicy::selected(FrameType type) const {
+  switch (type) {
+    case FrameType::kCts:
+      return frames_.cts;
+    case FrameType::kAck:
+      return frames_.ack;
+    case FrameType::kRts:
+      return frames_.rts;
+    case FrameType::kData:
+      return frames_.data;
+  }
+  return false;
+}
+
+Time NavInflationPolicy::adjust_duration(FrameType type, Time duration, Rng& rng) {
+  if (!selected(type) || inflation_ <= 0) return duration;
+  if (!rng.chance(gp_)) return duration;
+  ++applied_;
+  return duration + inflation_;  // MAC clamps to the 15-bit maximum
+}
+
+}  // namespace g80211

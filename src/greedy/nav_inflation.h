@@ -1,0 +1,45 @@
+// Misbehavior 1: NAV inflation (paper Section IV-A).
+//
+// The greedy receiver adds `inflation` to the Duration field of the frame
+// types selected in `frames`, with probability `greedy_percentage` per
+// frame (the paper's GP knob, Fig 7). Under UDP a receiver only transmits
+// CTS and ACK; under TCP it also transmits RTS and DATA frames when
+// sending TCP ACKs, so all four types can be inflated (Fig 4(d)).
+// The MAC clamps the result to the 802.11 maximum of 32767 us.
+#pragma once
+
+#include "src/greedy/policy.h"
+
+namespace g80211 {
+
+struct NavFrameMask {
+  bool cts = false;
+  bool ack = false;
+  bool rts = false;
+  bool data = false;
+
+  static NavFrameMask cts_only() { return {.cts = true}; }
+  static NavFrameMask ack_only() { return {.ack = true}; }
+  static NavFrameMask rts_and_cts() { return {.cts = true, .rts = true}; }
+  static NavFrameMask all() { return {.cts = true, .ack = true, .rts = true, .data = true}; }
+};
+
+class NavInflationPolicy : public GreedyPolicy {
+ public:
+  NavInflationPolicy(NavFrameMask frames, Time inflation, double greedy_percentage = 1.0)
+      : frames_(frames), inflation_(inflation), gp_(greedy_percentage) {}
+
+  Time adjust_duration(FrameType type, Time duration, Rng& rng) override;
+
+  std::int64_t inflations_applied() const { return applied_; }
+
+ private:
+  bool selected(FrameType type) const;
+
+  NavFrameMask frames_;
+  Time inflation_;
+  double gp_;
+  std::int64_t applied_ = 0;
+};
+
+}  // namespace g80211

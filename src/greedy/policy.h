@@ -1,0 +1,42 @@
+// Strategy interface through which a (mis)behaving receiver influences its
+// MAC. The honest MAC contains no misbehavior logic: it consults the
+// attached policy at exactly the three points the paper identifies —
+// when emitting a frame (Duration field), when overhearing a DATA frame
+// destined elsewhere (ACK spoofing), and when receiving a corrupted DATA
+// frame addressed to itself (fake ACKs). A null policy means an honest
+// station.
+#pragma once
+
+#include "src/mac/frame.h"
+#include "src/phy/phy.h"
+#include "src/sim/rng.h"
+
+namespace g80211 {
+
+class GreedyPolicy {
+ public:
+  virtual ~GreedyPolicy() = default;
+
+  // Possibly rewrite the Duration field of an outgoing frame. The MAC
+  // clamps the result to the 15-bit maximum (32767 us).
+  virtual Time adjust_duration(FrameType /*type*/, Time duration, Rng& /*rng*/) {
+    return duration;
+  }
+
+  // Overheard a DATA frame destined to another station (promiscuous mode;
+  // also called for corrupted sniffs whose MAC addresses survived). Return
+  // true to transmit a MAC ACK on behalf of that receiver after SIFS.
+  virtual bool spoof_ack_for(const Frame& /*data*/, const RxInfo& /*info*/,
+                             Rng& /*rng*/) {
+    return false;
+  }
+
+  // Received a corrupted DATA frame addressed to this station with intact
+  // addresses. Return true to ACK it anyway.
+  virtual bool fake_ack_for(const Frame& /*data*/, const RxInfo& /*info*/,
+                            Rng& /*rng*/) {
+    return false;
+  }
+};
+
+}  // namespace g80211

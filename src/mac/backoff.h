@@ -1,0 +1,57 @@
+// Binary exponential backoff state: contention window management and the
+// slot-countdown bookkeeping. Timer driving lives in the Mac; this class is
+// pure logic so the doubling/reset/draw rules are unit-testable in
+// isolation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "src/sim/rng.h"
+
+namespace g80211 {
+
+class Backoff {
+ public:
+  Backoff(int cw_min, int cw_max) : cw_min_(cw_min), cw_max_(cw_max), cw_(cw_min) {}
+
+  int cw() const { return cw_; }
+  // Double the window after a failed transmission (up to cw_max). When
+  // `clamped` (the fake-ACK testbed-emulation knob) the window never grows.
+  void fail(bool clamped = false) {
+    if (clamped) return;
+    cw_ = std::min(2 * cw_ + 1, cw_max_);
+  }
+  void reset() { cw_ = cw_min_; }
+
+  // Draw a fresh backoff in [0, cw] and record it for statistics.
+  int draw(Rng& rng) {
+    const int slots = static_cast<int>(rng.uniform_int(cw_));
+    cw_sum_ += cw_;
+    ++cw_draws_;
+    ++cw_hist_[cw_];
+    return slots;
+  }
+
+  // Mean contention window over all draws (paper Fig 2 / Table IV metric).
+  double average_cw() const {
+    return cw_draws_ == 0 ? static_cast<double>(cw_min_)
+                          : static_cast<double>(cw_sum_) / static_cast<double>(cw_draws_);
+  }
+  std::int64_t draws() const { return cw_draws_; }
+
+  // Empirical distribution of the contention-window value at each draw —
+  // the Pr[CW = m] input to the paper's Eq. (1)/(2) model (Fig 3).
+  const std::map<int, std::int64_t>& cw_histogram() const { return cw_hist_; }
+
+ private:
+  int cw_min_;
+  int cw_max_;
+  int cw_;
+  std::int64_t cw_sum_ = 0;
+  std::int64_t cw_draws_ = 0;
+  std::map<int, std::int64_t> cw_hist_;
+};
+
+}  // namespace g80211

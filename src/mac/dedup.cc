@@ -1,0 +1,13 @@
+#include "src/mac/dedup.h"
+
+namespace g80211 {
+
+bool DedupCache::is_duplicate(int ta, int seq, bool retry, int frag) {
+  const auto it = last_.find(ta);
+  const bool dup = retry && it != last_.end() && it->second.first == seq &&
+                   it->second.second == frag;
+  last_[ta] = {seq, frag};
+  return dup;
+}
+
+}  // namespace g80211

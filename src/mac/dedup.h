@@ -1,0 +1,20 @@
+// Receiver-side duplicate detection, per IEEE 802.11: a <TA, sequence,
+// fragment> cache; a frame with the Retry bit set whose tuple matches the
+// cache entry is a duplicate (ACKed at the MAC but not delivered upward).
+#pragma once
+
+#include <map>
+#include <utility>
+
+namespace g80211 {
+
+class DedupCache {
+ public:
+  // Returns true if the frame is a duplicate. Always records the tuple.
+  bool is_duplicate(int ta, int seq, bool retry, int frag = 0);
+
+ private:
+  std::map<int, std::pair<int, int>> last_;  // ta -> (seq, frag)
+};
+
+}  // namespace g80211

@@ -1,0 +1,3 @@
+#include "src/mac/durations.h"
+
+// Header-only module; translation unit kept for target symmetry.

@@ -1,0 +1,43 @@
+// Duration/NAV field arithmetic for the DCF frame exchanges
+// (IEEE 802.11-1999 section 7.2):
+//   RTS.Duration  = 3*SIFS + T_CTS + T_DATA + T_ACK
+//   CTS.Duration  = RTS.Duration - SIFS - T_CTS
+//   DATA.Duration = SIFS + T_ACK
+//   ACK.Duration  = 0 (no fragmentation)
+// These are both what honest stations transmit and what the GRC NAV
+// validator uses as the expected values.
+#pragma once
+
+#include "src/phy/wifi_params.h"
+#include "src/sim/time.h"
+
+namespace g80211 {
+
+struct Durations {
+  // `rate_mbps` = 0 uses the standard's default data rate; auto-rate MACs
+  // pass their per-destination rate so the reservation matches the actual
+  // DATA airtime.
+  static Time rts(const WifiParams& p, int packet_bytes, double rate_mbps = 0) {
+    const Time data_t = rate_mbps > 0 ? p.data_tx_time_at(packet_bytes, rate_mbps)
+                                      : p.data_tx_time(packet_bytes);
+    return 3 * p.sifs + p.cts_tx_time() + data_t + p.ack_tx_time();
+  }
+  static Time cts_from_rts(const WifiParams& p, Time rts_duration) {
+    const Time d = rts_duration - p.sifs - p.cts_tx_time();
+    return d > 0 ? d : 0;
+  }
+  static Time cts(const WifiParams& p, int packet_bytes) {
+    return 2 * p.sifs + p.data_tx_time(packet_bytes) + p.ack_tx_time();
+  }
+  static Time data(const WifiParams& p) { return p.sifs + p.ack_tx_time(); }
+  static Time ack() { return 0; }
+
+  // Upper bounds used by the GRC validator for observers that did not hear
+  // the eliciting frame: assume the largest Internet MTU payload (1500 B)
+  // plus IP/transport headers.
+  static constexpr int kMaxMtuPacket = 1500 + 40;
+  static Time max_cts(const WifiParams& p) { return cts(p, kMaxMtuPacket); }
+  static Time max_rts(const WifiParams& p) { return rts(p, kMaxMtuPacket); }
+};
+
+}  // namespace g80211

@@ -1,0 +1,31 @@
+#include "src/mac/frame.h"
+
+#include <sstream>
+
+namespace g80211 {
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kRts:
+      return "RTS";
+    case FrameType::kCts:
+      return "CTS";
+    case FrameType::kData:
+      return "DATA";
+    case FrameType::kAck:
+      return "ACK";
+  }
+  return "?";
+}
+
+std::string Frame::describe() const {
+  std::ostringstream os;
+  os << frame_type_name(type) << " ra=" << ra;
+  if (ta != kNoAddr) os << " ta=" << ta;
+  os << " dur=" << to_micros(duration) << "us";
+  if (packet) os << " pkt(flow=" << packet->flow_id << " seq=" << packet->seq << ")";
+  if (retry) os << " retry";
+  return os.str();
+}
+
+}  // namespace g80211

@@ -1,0 +1,53 @@
+#include "src/mac/rate_control.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace g80211 {
+
+ArfRateController::ArfRateController(std::vector<double> ladder_mbps,
+                                     int start_index, int up_threshold,
+                                     int down_threshold, bool adaptive)
+    : ladder_(std::move(ladder_mbps)),
+      index_(start_index),
+      up_threshold_(up_threshold),
+      down_threshold_(down_threshold),
+      adaptive_(adaptive),
+      current_up_threshold_(up_threshold) {
+  assert(!ladder_.empty());
+  index_ = std::clamp(index_, 0, static_cast<int>(ladder_.size()) - 1);
+}
+
+void ArfRateController::on_success() {
+  probing_ = false;
+  failure_streak_ = 0;
+  if (++success_streak_ >= current_up_threshold_ &&
+      index_ + 1 < static_cast<int>(ladder_.size())) {
+    ++index_;
+    ++ups_;
+    success_streak_ = 0;
+    probing_ = true;  // the next frame validates the new rate
+  }
+}
+
+void ArfRateController::on_failure() {
+  success_streak_ = 0;
+  const bool probe_failed = probing_;
+  probing_ = false;
+  if (probe_failed || ++failure_streak_ >= down_threshold_) {
+    if (index_ > 0) {
+      --index_;
+      ++downs_;
+    }
+    failure_streak_ = 0;
+    if (adaptive_) {
+      // AARF: a failed probe doubles the patience before the next one; a
+      // genuine (non-probe) drop resets it.
+      current_up_threshold_ = probe_failed
+                                  ? std::min(2 * current_up_threshold_, 50)
+                                  : up_threshold_;
+    }
+  }
+}
+
+}  // namespace g80211

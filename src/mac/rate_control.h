@@ -1,0 +1,54 @@
+// Auto Rate Fallback (ARF, Kamerman & Monteban 1997) — the classic 802.11
+// rate-adaptation loop the paper's future-work section reasons about:
+// step the PHY rate up after `up_threshold` consecutive MAC successes (or
+// a probation timer), step down after `down_threshold` consecutive
+// failures, and fall straight back down if the first frame after a
+// step-up (the probe) fails.
+//
+// ARF trusts MAC-layer ACKs as its feedback signal, which is exactly what
+// makes it attackable: fake ACKs hold the rate above the channel's cliff;
+// spoofed ACKs hide the victim's losses from its sender's controller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace g80211 {
+
+class ArfRateController {
+ public:
+  // `adaptive` enables AARF (Lacage et al. 2004): every failed probe
+  // doubles the success streak required before the next probe (capped at
+  // 50), halving the rate of wasted probe frames on a stable channel.
+  // Note the security angle: AARF's extra smarts change nothing against
+  // fake ACKs — a receiver that acknowledges corrupted probes makes every
+  // probe "succeed", so both controllers are equally blind.
+  ArfRateController(std::vector<double> ladder_mbps, int start_index,
+                    int up_threshold = 10, int down_threshold = 2,
+                    bool adaptive = false);
+
+  double rate_mbps() const { return ladder_[static_cast<std::size_t>(index_)]; }
+  int index() const { return index_; }
+
+  void on_success();
+  void on_failure();
+
+  std::int64_t ups() const { return ups_; }
+  std::int64_t downs() const { return downs_; }
+  int current_up_threshold() const { return current_up_threshold_; }
+
+ private:
+  std::vector<double> ladder_;
+  int index_;
+  int up_threshold_;
+  int down_threshold_;
+  bool adaptive_;
+  int current_up_threshold_;
+  int success_streak_ = 0;
+  int failure_streak_ = 0;
+  bool probing_ = false;  // first frame after a step-up
+  std::int64_t ups_ = 0;
+  std::int64_t downs_ = 0;
+};
+
+}  // namespace g80211

@@ -1,0 +1,121 @@
+// Node mobility. The paper's RSSI-based spoofed-ACK detector assumes a
+// stable per-peer RSSI profile; Section VII-B notes that "highly mobile
+// clients, which experience large variation in RSSI", need the
+// cross-layer detector instead. This module supplies the moving clients
+// that make that trade-off observable.
+//
+// LinearMobility moves a PHY at a constant velocity, re-evaluating the
+// position on a fixed tick (propagation is sampled per frame, so the tick
+// only bounds position staleness). WaypointMobility walks a list of
+// waypoints at a given speed.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "src/phy/phy.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+
+class LinearMobility {
+ public:
+  LinearMobility(Scheduler& sched, Phy& phy, double vx_mps, double vy_mps,
+                 Time tick = milliseconds(50))
+      : sched_(&sched),
+        phy_(&phy),
+        vx_(vx_mps),
+        vy_(vy_mps),
+        tick_(tick),
+        timer_(sched, [this] { step(); }) {}
+
+  void start(Time at) {
+    running_ = true;
+    last_ = at;
+    timer_.start_at(at + tick_);
+  }
+  void stop() {
+    running_ = false;
+    timer_.cancel();
+  }
+
+ private:
+  void step() {
+    if (!running_) return;
+    const double dt = to_seconds(sched_->now() - last_);
+    last_ = sched_->now();
+    Position p = phy_->position();
+    p.x += vx_ * dt;
+    p.y += vy_ * dt;
+    phy_->set_position(p);
+    timer_.start(tick_);
+  }
+
+  Scheduler* sched_;
+  Phy* phy_;
+  double vx_, vy_;
+  Time tick_;
+  Timer timer_;
+  bool running_ = false;
+  Time last_ = 0;
+};
+
+class WaypointMobility {
+ public:
+  WaypointMobility(Scheduler& sched, Phy& phy, std::vector<Position> waypoints,
+                   double speed_mps, Time tick = milliseconds(50))
+      : sched_(&sched),
+        phy_(&phy),
+        waypoints_(std::move(waypoints)),
+        speed_(speed_mps),
+        tick_(tick),
+        timer_(sched, [this] { step(); }) {}
+
+  void start(Time at) {
+    running_ = true;
+    last_ = at;
+    timer_.start_at(at + tick_);
+  }
+  void stop() {
+    running_ = false;
+    timer_.cancel();
+  }
+  // Index of the waypoint currently being approached.
+  std::size_t current_target() const { return target_; }
+  bool finished() const { return target_ >= waypoints_.size(); }
+
+ private:
+  void step() {
+    if (!running_ || finished()) return;
+    double budget = speed_ * to_seconds(sched_->now() - last_);
+    last_ = sched_->now();
+    Position p = phy_->position();
+    while (budget > 0 && !finished()) {
+      const Position& tgt = waypoints_[target_];
+      const double d = distance(p, tgt);
+      if (d <= budget) {
+        p = tgt;
+        budget -= d;
+        ++target_;
+      } else {
+        p.x += (tgt.x - p.x) / d * budget;
+        p.y += (tgt.y - p.y) / d * budget;
+        budget = 0;
+      }
+    }
+    phy_->set_position(p);
+    if (!finished()) timer_.start(tick_);
+  }
+
+  Scheduler* sched_;
+  Phy* phy_;
+  std::vector<Position> waypoints_;
+  double speed_;
+  Time tick_;
+  Timer timer_;
+  bool running_ = false;
+  std::size_t target_ = 0;
+  Time last_ = 0;
+};
+
+}  // namespace g80211

@@ -1,0 +1,41 @@
+#include "src/net/node.h"
+
+namespace g80211 {
+
+Node::Node(Scheduler& sched, Channel& channel, int id, Position pos, Rng rng)
+    : sched_(&sched), id_(id) {
+  Rng phy_rng = rng.fork();
+  phy_ = std::make_unique<Phy>(channel, id, pos, phy_rng);
+  mac_ = std::make_unique<Mac>(sched, *phy_, channel.params(), rng.fork());
+  mac_->set_upper(this);
+}
+
+void Node::send_packet(PacketPtr p) {
+  const auto it = routes_.find(p->dst_node);
+  const int next_hop = it != routes_.end() ? it->second : p->dst_node;
+  mac_->send(std::move(p), next_hop);
+}
+
+void Node::on_packet(const PacketPtr& packet, const RxInfo& /*info*/) {
+  if (packet->dst_node != id_ && packet->dst_node != kBroadcast) {
+    const auto fw = forwarders_.find(packet->dst_node);
+    if (fw != forwarders_.end()) fw->second(packet);
+    return;
+  }
+  if (packet->is_probe && !packet->probe_reply) {
+    // Application-layer echo: only reachable for uncorrupted deliveries.
+    auto reply = std::make_shared<Packet>(*packet);
+    reply->uid = next_uid_++;
+    reply->probe_reply = true;
+    reply->src_node = id_;
+    reply->dst_node = packet->src_node;
+    reply->created = sched_->now();
+    ++probes_echoed_;
+    send_packet(std::move(reply));
+    return;
+  }
+  const auto it = sinks_.find(packet->flow_id);
+  if (it != sinks_.end() && it->second != nullptr) it->second->receive(packet);
+}
+
+}  // namespace g80211

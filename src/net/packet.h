@@ -1,0 +1,37 @@
+// Network-layer packet: what a transport agent hands to the MAC.
+//
+// `size_bytes` includes transport payload plus IP/transport headers
+// (the simulator's transports add 40 bytes, as in ns-2), but NOT the MAC
+// overhead — the MAC/PHY account for that when computing airtime and frame
+// error length.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/time.h"
+
+namespace g80211 {
+
+struct TcpHeader {
+  std::int64_t seq = 0;  // first payload byte (data segments)
+  std::int64_t ack = 0;  // cumulative ack (ack segments)
+  bool is_ack = false;
+};
+
+struct Packet {
+  int flow_id = 0;
+  std::uint64_t uid = 0;   // unique per packet instance
+  std::int64_t seq = 0;    // transport-level sequence (UDP: datagram index)
+  int size_bytes = 0;      // payload + IP/transport headers
+  int src_node = -1;       // end-to-end source
+  int dst_node = -1;       // end-to-end destination
+  Time created = 0;
+  TcpHeader tcp;           // valid when the owning flow is TCP
+  bool is_probe = false;   // ping probe used by the fake-ACK detector
+  bool probe_reply = false;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+}  // namespace g80211

@@ -1,0 +1,23 @@
+#include "src/net/queue.h"
+
+#include <cassert>
+
+namespace g80211 {
+
+bool DropTailQueue::push(PacketPtr p, int dest_mac) {
+  if (q_.size() >= limit_) {
+    ++drops_;
+    return false;
+  }
+  q_.emplace_back(std::move(p), dest_mac);
+  return true;
+}
+
+std::pair<PacketPtr, int> DropTailQueue::pop() {
+  assert(!q_.empty());
+  auto front = std::move(q_.front());
+  q_.pop_front();
+  return front;
+}
+
+}  // namespace g80211

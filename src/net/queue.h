@@ -1,0 +1,33 @@
+// Drop-tail interface queue between the network layer and the MAC
+// (ns-2's Queue/DropTail, default limit 50 packets).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "src/net/packet.h"
+
+namespace g80211 {
+
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(std::size_t limit = 50) : limit_(limit) {}
+
+  // Returns false (and drops) if the queue is full.
+  bool push(PacketPtr p, int dest_mac);
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  std::size_t limit() const { return limit_; }
+  std::int64_t drops() const { return drops_; }
+
+  // Precondition: !empty().
+  std::pair<PacketPtr, int> pop();
+
+ private:
+  std::size_t limit_;
+  std::int64_t drops_ = 0;
+  std::deque<std::pair<PacketPtr, int>> q_;
+};
+
+}  // namespace g80211

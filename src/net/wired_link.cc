@@ -1,0 +1,3 @@
+#include "src/net/wired_link.h"
+
+// Header-only module; translation unit kept for target symmetry.

@@ -1,0 +1,21 @@
+#include "src/phy/channel.h"
+
+#include "src/phy/phy.h"
+
+namespace g80211 {
+
+void Channel::transmit(Phy* sender, const Frame& frame, Time airtime) {
+  const Time end = sched_->now() + airtime;
+  const std::uint64_t tx_id = next_tx_id_++;
+  for (Phy* rx : phys_) {
+    if (rx == sender) continue;
+    const double d = distance(sender->position(), rx->position());
+    if (!sensed_at(d)) continue;
+    const double rss = propagation_.rx_power_w(d);
+    const bool decodable = decodable_at(d);
+    rx->incoming_start(tx_id, frame, rss, end, decodable);
+    sched_->at(end, [rx, tx_id] { rx->incoming_end(tx_id); });
+  }
+}
+
+}  // namespace g80211

@@ -1,0 +1,74 @@
+// The shared wireless medium.
+//
+// Transmissions propagate (with zero propagation delay — at hotspot scales
+// the <1 us flight time is far below a slot) to every PHY whose distance is
+// within the carrier-sense range; frames are decodable within the (smaller
+// or equal) communication range. Range semantics:
+//   comm_range_m <= 0 : every node decodes every frame (the paper's default
+//                       "all nodes are within communication range").
+//   cs_range_m   <= 0 : carrier-sense range equals communication range.
+// Setting cs_range_m > comm_range_m creates an interference-only band
+// (Fig 23's 55 m / 99 m setup); placing senders outside each other's CS
+// range while receivers hear both creates hidden terminals (Fig 18).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mac/frame.h"
+#include "src/phy/error_model.h"
+#include "src/phy/propagation.h"
+#include "src/phy/wifi_params.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+
+class Phy;
+
+class Channel {
+ public:
+  Channel(Scheduler& sched, WifiParams params) : sched_(&sched), params_(params) {}
+
+  void set_ranges(double comm_range_m, double cs_range_m) {
+    comm_range_m_ = comm_range_m;
+    cs_range_m_ = cs_range_m;
+  }
+  double comm_range_m() const { return comm_range_m_; }
+  double cs_range_m() const { return cs_range_m_ > 0 ? cs_range_m_ : comm_range_m_; }
+
+  ErrorModel& error_model() { return error_model_; }
+  const ErrorModel& error_model() const { return error_model_; }
+  Propagation& propagation() { return propagation_; }
+  const WifiParams& params() const { return params_; }
+  Scheduler& scheduler() { return *sched_; }
+
+  // Power ratio above which the stronger of two overlapping frames is
+  // captured (ns-2 CPThresh_ = 10). Set <= 0 to disable capture entirely
+  // (ablation: every overlap is a collision).
+  double capture_threshold = 10.0;
+
+  void attach(Phy* phy) { phys_.push_back(phy); }
+  const std::vector<Phy*>& phys() const { return phys_; }
+
+  // Broadcast `frame` from `sender` for `airtime`.
+  void transmit(Phy* sender, const Frame& frame, Time airtime);
+
+  bool decodable_at(double dist_m) const {
+    return comm_range_m_ <= 0 || dist_m <= comm_range_m_;
+  }
+  bool sensed_at(double dist_m) const {
+    return decodable_at(dist_m) || (cs_range_m_ > 0 && dist_m <= cs_range_m_);
+  }
+
+ private:
+  Scheduler* sched_;
+  WifiParams params_;
+  ErrorModel error_model_;
+  Propagation propagation_;
+  std::vector<Phy*> phys_;
+  double comm_range_m_ = 0;  // <= 0: unlimited
+  double cs_range_m_ = 0;    // <= 0: same as comm range
+  std::uint64_t next_tx_id_ = 1;
+};
+
+}  // namespace g80211

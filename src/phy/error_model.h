@@ -1,0 +1,91 @@
+// Frame error model.
+//
+// The paper injects "random loss of bit-error-rate (BER)" in ns-2, and its
+// Table III lists the resulting frame error rates. Those FERs fit
+// FER = 1 - (1 - BER)^L exactly with effective error lengths
+//   L(ACK/CTS) = 38, L(RTS) = 44, L(data frame) = packet + 72
+// (packet = payload + 40 B IP/transport headers; e.g. TCP DATA = 1136,
+// TCP ACK = 112). We adopt those constants so Table III — and every
+// BER-parameterised experiment — reproduces on the paper's own scale.
+//
+// Per-link overrides support the paper's asymmetric-loss experiments
+// ("inject random loss to only one flow").
+//
+// The header-corruption study (Table I) is separate: it uses a true
+// per-bit model over the 802.11 frame layout to show that corrupted frames
+// usually preserve src/dst MAC addresses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "src/mac/frame.h"
+#include "src/sim/rng.h"
+
+namespace g80211 {
+
+class ErrorModel {
+ public:
+  // Effective error length (see header comment).
+  static int error_len(FrameType type, int packet_bytes);
+  // FER = 1 - (1-ber)^len.
+  static double fer(double ber, int len);
+  // BER required for a target FER at length `len` (inverse of fer()).
+  static double ber_for_fer(double target_fer, int len);
+
+  void set_default_ber(double ber) { default_ber_ = ber; }
+  // Loss on the directed link tx -> rx only.
+  void set_link_ber(int tx, int rx, double ber);
+  double ber(int tx, int rx) const;
+
+  // Rate-dependent channel quality (auto-rate substrate): DATA frames sent
+  // above the link's highest "good" PHY rate are corrupted with
+  // `excess_fer` instead of the BER-derived probability — the cliff a rate
+  // controller must find. Unset links support every rate.
+  void set_link_rate_limit(int tx, int rx, double max_good_rate_mbps,
+                           double excess_fer = 0.9);
+  // FER contribution of sending at `rate_mbps` on this link (0 if allowed).
+  double rate_excess_fer(int tx, int rx, double rate_mbps) const;
+
+  // Probability that a frame on link tx->rx with packet payload
+  // `packet_bytes` arrives corrupted. `rate_mbps` only matters for DATA
+  // frames on rate-limited links (0 = default rate, always allowed).
+  double frame_error_prob(int tx, int rx, FrameType type, int packet_bytes,
+                          double rate_mbps = 0.0) const;
+
+  // Given that a frame was corrupted by bit errors, the probability its
+  // 12 address bytes are all intact:
+  //   P(addr ok | >=1 error) = ((1-ber)^12 - (1-ber)^L) / (1 - (1-ber)^L).
+  static double addr_intact_given_corrupt(double ber, int len);
+
+  // Corrupted-by-collision frames: fraction with decodable addresses
+  // (header often precedes the interferer's arrival). Default matches the
+  // paper's measured 84-95% range.
+  double collision_addr_intact_prob = 0.9;
+
+  // --- Table I: Monte-Carlo header corruption study -----------------------
+  struct CorruptionBreakdown {
+    std::int64_t received = 0;
+    std::int64_t corrupted = 0;
+    std::int64_t corrupted_correct_dest = 0;
+    std::int64_t corrupted_correct_src_dest = 0;
+  };
+  // Transmit `n_frames` frames of `frame_bytes` through a true per-bit BER
+  // channel; classify corrupted frames by whether the destination bytes
+  // (offsets 4-9) and source bytes (offsets 10-15) survived.
+  static CorruptionBreakdown corruption_study(Rng& rng, double bit_ber,
+                                              int frame_bytes,
+                                              std::int64_t n_frames);
+
+ private:
+  struct RateLimit {
+    double max_good_rate_mbps = 0.0;
+    double excess_fer = 0.9;
+  };
+  double default_ber_ = 0.0;
+  std::map<std::pair<int, int>, double> link_ber_;
+  std::map<std::pair<int, int>, RateLimit> rate_limit_;
+};
+
+}  // namespace g80211

@@ -1,0 +1,122 @@
+#include "src/phy/phy.h"
+
+#include <cassert>
+
+namespace g80211 {
+
+double Phy::measured_rssi(double rss_w) {
+  double noise = rng_.normal(0.0, rssi_noise_db);
+  if (rng_.chance(rssi_outlier_prob)) {
+    noise += rng_.normal(0.0, rssi_outlier_db);
+  }
+  return watts_to_dbm(rss_w) + noise;
+}
+
+void Phy::notify_edges(bool was_busy) {
+  const bool busy = carrier_busy();
+  if (!listener_) return;
+  if (!was_busy && busy) listener_->on_channel_busy();
+  if (was_busy && !busy) listener_->on_channel_idle();
+}
+
+void Phy::transmit(const Frame& frame, Time airtime) {
+  assert(!transmitting_ && "half-duplex PHY already transmitting");
+  const bool was_busy = carrier_busy();
+  // Half duplex: transmitting stomps any in-progress reception.
+  current_rx_ = 0;
+  current_collided_ = false;
+  transmitting_ = true;
+  Frame f = frame;
+  f.true_tx = id_;
+  channel_->transmit(this, f, airtime);
+  channel_->scheduler().after(airtime, [this] { tx_done(); });
+  notify_edges(was_busy);
+}
+
+void Phy::tx_done() {
+  transmitting_ = false;
+  if (listener_) listener_->on_tx_end();
+  // If nothing else is in the air, the medium just went idle for us.
+  notify_edges(/*was_busy=*/true);
+}
+
+void Phy::incoming_start(std::uint64_t tx_id, const Frame& frame, double rss_w,
+                         Time end, bool decodable) {
+  const bool was_busy = carrier_busy();
+  const Time now = channel_->scheduler().now();
+  ongoing_[tx_id] = Ongoing{frame, rss_w, now, end, decodable};
+
+  if (!transmitting_) {
+    const double cap = channel_->capture_threshold;
+    if (current_rx_ == 0) {
+      if (decodable) {
+        // Interference from transmissions already in the air.
+        double interference = 0.0;
+        for (const auto& [id, o] : ongoing_) {
+          if (id != tx_id) interference += o.rss_w;
+        }
+        current_rx_ = tx_id;
+        current_collided_ =
+            interference > 0.0 && (cap <= 0.0 || rss_w < cap * interference);
+      }
+    } else {
+      auto& cur = ongoing_.at(current_rx_);
+      if (cap > 0.0 && cur.rss_w >= cap * rss_w) {
+        // Current frame powers through; newcomer is just interference.
+      } else if (cap > 0.0 && decodable && rss_w >= cap * cur.rss_w) {
+        // Newcomer captures the receiver; the old frame is lost.
+        current_rx_ = tx_id;
+        current_collided_ = false;
+      } else {
+        current_collided_ = true;
+      }
+    }
+  }
+  notify_edges(was_busy);
+}
+
+void Phy::incoming_end(std::uint64_t tx_id) {
+  const auto it = ongoing_.find(tx_id);
+  assert(it != ongoing_.end());
+  const Ongoing o = it->second;
+  ongoing_.erase(it);
+
+  if (tx_id == current_rx_ && !transmitting_) {
+    const bool collided = current_collided_;
+    current_rx_ = 0;
+    current_collided_ = false;
+
+    const ErrorModel& em = channel_->error_model();
+    const double ber = em.ber(o.frame.true_tx, id_);
+    // A fragment is only exposed for its own airtime, not the full MSDU's.
+    const int pkt_bytes = o.frame.air_bytes();
+    const int len = ErrorModel::error_len(o.frame.type, pkt_bytes);
+    const bool bit_errors = rng_.chance(em.frame_error_prob(
+        o.frame.true_tx, id_, o.frame.type, pkt_bytes, o.frame.rate_mbps));
+
+    RxInfo info;
+    info.rss_w = o.rss_w;
+    info.rssi_dbm = measured_rssi(o.rss_w);
+    info.start = o.start;
+    info.end = o.end;
+    info.collided = collided;
+    info.corrupted = collided || bit_errors;
+    if (!info.corrupted) {
+      info.addresses_intact = true;
+    } else if (collided || ber <= 0.0) {
+      // Collision- or rate-cliff-induced corruption: header survival is
+      // governed by the overlap/fade geometry, not per-bit independence.
+      info.addresses_intact = rng_.chance(em.collision_addr_intact_prob);
+    } else {
+      info.addresses_intact =
+          rng_.chance(ErrorModel::addr_intact_given_corrupt(ber, len));
+    }
+    if (listener_) listener_->on_rx_end(o.frame, info);
+  } else if (tx_id == current_rx_) {
+    current_rx_ = 0;
+    current_collided_ = false;
+  }
+  notify_edges(/*was_busy=*/true);
+}
+
+}  // namespace g80211

@@ -1,0 +1,106 @@
+// Per-node half-duplex transceiver.
+//
+// Tracks every transmission currently in the air at this node, implements
+// physical carrier sensing, reception with a symmetric capture rule, and
+// BER-driven frame corruption. The capture rule follows the paper's
+// Section IV-B setup: of two overlapping frames, the one whose received
+// signal strength exceeds the other's by the capture threshold is
+// demodulated; otherwise both are lost (collision).
+//
+// RSSI: every delivered frame carries a measured RSSI (dBm) = true received
+// power + Gaussian measurement noise + a rare heavy-tail outlier, matching
+// the paper's testbed observation that ~95% of samples fall within 1 dB of
+// the link median (Fig 21). Detection code sees only this measured value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/mac/frame.h"
+#include "src/phy/channel.h"
+#include "src/phy/propagation.h"
+#include "src/sim/rng.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+
+struct RxInfo {
+  double rss_w = 0.0;        // true received power (watts)
+  double rssi_dbm = 0.0;     // measured RSSI (noisy, what detectors see)
+  bool corrupted = false;    // bit errors or collision
+  bool collided = false;     // corruption was due to overlap
+  bool addresses_intact = true;  // meaningful when corrupted
+  Time start = 0;
+  Time end = 0;
+};
+
+class PhyListener {
+ public:
+  virtual ~PhyListener() = default;
+  // A frame finished arriving (possibly corrupted). Promiscuous: called for
+  // every decodable frame regardless of addressing.
+  virtual void on_rx_end(const Frame& frame, const RxInfo& info) = 0;
+  virtual void on_channel_busy() = 0;
+  virtual void on_channel_idle() = 0;
+  virtual void on_tx_end() = 0;
+};
+
+class Phy {
+ public:
+  Phy(Channel& channel, int node_id, Position pos, Rng rng)
+      : channel_(&channel), id_(node_id), pos_(pos), rng_(rng) {
+    channel.attach(this);
+  }
+
+  void set_listener(PhyListener* l) { listener_ = l; }
+  int id() const { return id_; }
+  const Position& position() const { return pos_; }
+  void set_position(Position p) { pos_ = p; }
+
+  // Physical carrier sense (includes own transmission).
+  bool carrier_busy() const { return transmitting_ || !ongoing_.empty(); }
+  bool transmitting() const { return transmitting_; }
+
+  // Standard deviation of RSSI measurement noise in dB, plus a small
+  // probability of a multipath outlier drawn with a wider deviation.
+  double rssi_noise_db = 0.4;
+  double rssi_outlier_prob = 0.02;
+  double rssi_outlier_db = 2.5;
+
+  // Begin transmitting; the PHY must not already be transmitting. Any
+  // in-progress reception is aborted (half duplex).
+  void transmit(const Frame& frame, Time airtime);
+
+  // Channel-facing reception path.
+  void incoming_start(std::uint64_t tx_id, const Frame& frame, double rss_w,
+                      Time end, bool decodable);
+  void incoming_end(std::uint64_t tx_id);
+
+ private:
+  void tx_done();
+  void notify_edges(bool was_busy);
+  double measured_rssi(double rss_w);
+
+  struct Ongoing {
+    Frame frame;
+    double rss_w = 0.0;
+    Time start = 0;
+    Time end = 0;
+    bool decodable = false;
+  };
+
+  Channel* channel_;
+  int id_;
+  Position pos_;
+  Rng rng_;
+  PhyListener* listener_ = nullptr;
+
+  std::map<std::uint64_t, Ongoing> ongoing_;  // everything sensed in the air
+  std::uint64_t current_rx_ = 0;              // tx_id being demodulated (0 = none)
+  bool current_collided_ = false;
+  bool transmitting_ = false;
+
+  friend class Channel;
+};
+
+}  // namespace g80211

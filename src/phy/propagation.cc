@@ -1,0 +1,29 @@
+#include "src/phy/propagation.h"
+
+#include <algorithm>
+
+namespace g80211 {
+
+double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Propagation::crossover_m() const {
+  constexpr double kPi = 3.14159265358979323846;
+  return 4.0 * kPi * antenna_height_m * antenna_height_m / wavelength_m;
+}
+
+double Propagation::rx_power_w(double d) const {
+  constexpr double kPi = 3.14159265358979323846;
+  d = std::max(d, 0.1);  // avoid the singularity at zero distance
+  if (d <= crossover_m()) {
+    const double denom = 4.0 * kPi * d / wavelength_m;
+    return tx_power_w * gain_tx * gain_rx / (denom * denom);
+  }
+  const double h2 = antenna_height_m * antenna_height_m;
+  return tx_power_w * gain_tx * gain_rx * h2 * h2 / (d * d * d * d);
+}
+
+}  // namespace g80211

@@ -1,0 +1,36 @@
+// Radio propagation: two-ray ground reflection with a Friis near field,
+// as in ns-2. Produces received signal strength (watts) used for capture
+// decisions and RSSI-based detection.
+#pragma once
+
+#include <cmath>
+
+namespace g80211 {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Position& a, const Position& b);
+
+struct Propagation {
+  // ns-2 defaults for a 914 MHz WaveLAN-like radio.
+  double tx_power_w = 0.28183815;
+  double gain_tx = 1.0;
+  double gain_rx = 1.0;
+  double antenna_height_m = 1.5;
+  double wavelength_m = 0.328227;  // c / 914 MHz
+
+  // Received power in watts at distance d (meters).
+  // Friis below the crossover distance, two-ray ground beyond it.
+  double rx_power_w(double d) const;
+  // Crossover distance between the Friis and two-ray regimes.
+  double crossover_m() const;
+};
+
+inline double watts_to_dbm(double w) { return 10.0 * std::log10(w * 1000.0); }
+inline double dbm_to_watts(double dbm) { return std::pow(10.0, dbm / 10.0) / 1000.0; }
+inline double ratio_to_db(double r) { return 10.0 * std::log10(r); }
+
+}  // namespace g80211

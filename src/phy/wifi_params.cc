@@ -1,0 +1,86 @@
+#include "src/phy/wifi_params.h"
+
+namespace g80211 {
+
+Time WifiParams::payload_tx_time(int bytes, double rate_mbps) const {
+  if (standard == Standard::A80211 || standard == Standard::G80211) {
+    // OFDM: 16-bit SERVICE + payload + 6 tail bits, rounded up to 4 us
+    // symbols of N_DBPS bits. N_DBPS = 4 * rate_mbps at 802.11a rates
+    // (24 bits/symbol at 6 Mbps).
+    const auto ndbps = static_cast<std::int64_t>(4.0 * rate_mbps);
+    const std::int64_t bits = 16 + 8 * static_cast<std::int64_t>(bytes) + 6;
+    const std::int64_t symbols = (bits + ndbps - 1) / ndbps;
+    return microseconds(4 * symbols);
+  }
+  return tx_time(8 * static_cast<std::int64_t>(bytes), rate_mbps);
+}
+
+Time WifiParams::control_tx_time(int mac_bytes) const {
+  return plcp + payload_tx_time(mac_bytes, basic_rate_mbps);
+}
+
+Time WifiParams::data_tx_time(int packet_bytes) const {
+  return data_tx_time_at(packet_bytes, data_rate_mbps);
+}
+
+Time WifiParams::data_tx_time_at(int packet_bytes, double rate_mbps) const {
+  return plcp +
+         payload_tx_time(packet_bytes + data_mac_overhead_bytes, rate_mbps);
+}
+
+std::vector<double> WifiParams::rate_ladder() const {
+  if (standard == Standard::A80211 || standard == Standard::G80211) {
+    return {6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0};
+  }
+  return {1.0, 2.0, 5.5, 11.0};
+}
+
+WifiParams WifiParams::b11() {
+  WifiParams p;
+  p.standard = Standard::B80211;
+  p.slot = microseconds(20);
+  p.sifs = microseconds(10);
+  p.difs = p.sifs + 2 * p.slot;  // 50 us
+  p.plcp = microseconds(192);    // long preamble at 1 Mbps
+  p.data_rate_mbps = 11.0;
+  p.basic_rate_mbps = 1.0;
+  p.cw_min = 31;
+  p.cw_max = 1023;
+  return p;
+}
+
+WifiParams WifiParams::b11_short_preamble() {
+  WifiParams p = b11();
+  p.plcp = microseconds(96);  // short preamble: 72 us sync + 24 us header@2M
+  return p;
+}
+
+WifiParams WifiParams::g54() {
+  WifiParams p;
+  p.standard = Standard::G80211;
+  p.slot = microseconds(20);  // long slot (802.11b coexistence default)
+  p.sifs = microseconds(10);
+  p.difs = p.sifs + 2 * p.slot;  // 50 us
+  p.plcp = microseconds(20);     // ERP-OFDM preamble + SIGNAL
+  p.data_rate_mbps = 54.0;
+  p.basic_rate_mbps = 6.0;
+  p.cw_min = 15;
+  p.cw_max = 1023;
+  return p;
+}
+
+WifiParams WifiParams::a6() {
+  WifiParams p;
+  p.standard = Standard::A80211;
+  p.slot = microseconds(9);
+  p.sifs = microseconds(16);
+  p.difs = p.sifs + 2 * p.slot;  // 34 us
+  p.plcp = microseconds(20);     // 16 us preamble + 4 us SIGNAL
+  p.data_rate_mbps = 6.0;
+  p.basic_rate_mbps = 6.0;
+  p.cw_min = 15;
+  p.cw_max = 1023;
+  return p;
+}
+
+}  // namespace g80211

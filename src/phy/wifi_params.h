@@ -1,0 +1,88 @@
+// IEEE 802.11 PHY/MAC timing and rate parameters.
+//
+// Two standards are modelled, matching the paper's evaluation:
+//   * 802.11b DSSS, 11 Mbps data / 1 Mbps basic (control) rate,
+//     long PLCP preamble (192 us).
+//   * 802.11a OFDM, 6 Mbps data and basic rate, 20 us preamble+SIGNAL,
+//     4 us symbols.
+//
+// Frame sizes: the airtime of a frame uses the on-air MAC length
+// (RTS 20 B, CTS/ACK 14 B, data = packet + 28 B MAC overhead) plus the PLCP
+// time. The *error-model* length is calibrated to the paper's Table III
+// (see error_model.h): 44 B for RTS, 38 B for CTS/ACK, packet + 72 B for
+// data frames.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace g80211 {
+
+enum class Standard { B80211, A80211, G80211 };
+
+struct WifiParams {
+  Standard standard = Standard::B80211;
+
+  // Timing.
+  Time slot = 0;
+  Time sifs = 0;
+  Time difs = 0;      // sifs + 2*slot
+  Time plcp = 0;      // preamble + PLCP header (+SIGNAL for OFDM)
+  // Rates in Mbps.
+  double data_rate_mbps = 0;
+  double basic_rate_mbps = 0;  // control frames (RTS/CTS/ACK)
+
+  // Contention window bounds (number of slots; window is [0, cw]).
+  int cw_min = 0;
+  int cw_max = 0;
+
+  // Retry limits (IEEE 802.11 dot11ShortRetryLimit / dot11LongRetryLimit).
+  int short_retry_limit = 7;
+  int long_retry_limit = 4;
+
+  // On-air MAC sizes in bytes.
+  int rts_bytes = 20;
+  int cts_bytes = 14;
+  int ack_bytes = 14;
+  int data_mac_overhead_bytes = 28;  // MAC header + FCS + LLC
+
+  // Maximum value of the Duration/NAV field (15 bits, microseconds).
+  static constexpr Time kMaxNav = microseconds(32767);
+
+  // Airtime of a control frame of `mac_bytes` at the basic rate.
+  Time control_tx_time(int mac_bytes) const;
+  // Airtime of a data frame carrying a network packet of `packet_bytes`
+  // (transport payload + IP/transport headers) at the default data rate.
+  Time data_tx_time(int packet_bytes) const;
+  // Same, at an explicit PHY rate (auto-rate adaptation).
+  Time data_tx_time_at(int packet_bytes, double rate_mbps) const;
+
+  // The standard's mandatory rate set, ascending (ARF ladder).
+  std::vector<double> rate_ladder() const;
+
+  Time rts_tx_time() const { return control_tx_time(rts_bytes); }
+  Time cts_tx_time() const { return control_tx_time(cts_bytes); }
+  Time ack_tx_time() const { return control_tx_time(ack_bytes); }
+
+  // EIFS = SIFS + ACK airtime at basic rate + DIFS (IEEE 802.11 9.2.3.4).
+  Time eifs() const { return sifs + ack_tx_time() + difs; }
+
+  // Response timeouts: SIFS + response airtime + one slot of slack.
+  Time cts_timeout() const { return sifs + cts_tx_time() + 2 * slot; }
+  Time ack_timeout() const { return sifs + ack_tx_time() + 2 * slot; }
+
+  static WifiParams b11();  // 802.11b, 11 Mbps, long preamble
+  static WifiParams b11_short_preamble();  // 802.11b with 96 us PLCP
+  static WifiParams a6();   // 802.11a, 6 Mbps
+  // 802.11g (ERP-OFDM) at 54 Mbps data / 6 Mbps basic rate, long slot
+  // (20 us, the b-compatible default) — the third mode of the paper's
+  // testbed NICs.
+  static WifiParams g54();
+
+ private:
+  Time payload_tx_time(int bytes, double rate_mbps) const;
+};
+
+}  // namespace g80211

@@ -1,0 +1,99 @@
+#include "src/rssi/rssi_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/stats.h"
+
+namespace g80211 {
+
+RssiStudy::RssiStudy(RssiStudyConfig cfg, Rng rng)
+    : cfg_(cfg), attack_rng_(rng.fork()) {
+  // Scatter nodes with a minimum separation (rejection sampling).
+  while (static_cast<int>(positions_.size()) < cfg_.nodes) {
+    const Position cand{rng.uniform() * cfg_.area_m, rng.uniform() * cfg_.area_m};
+    bool ok = true;
+    for (const auto& p : positions_) {
+      if (distance(p, cand) < cfg_.min_separation_m) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) positions_.push_back(cand);
+  }
+
+  Propagation prop;
+  for (int tx = 0; tx < cfg_.nodes; ++tx) {
+    for (int rx = 0; rx < cfg_.nodes; ++rx) {
+      if (tx == rx) continue;
+      link_.push_back({tx, rx});
+      link_median_.push_back(
+          watts_to_dbm(prop.rx_power_w(distance(positions_[tx], positions_[rx]))));
+    }
+  }
+
+  // Per-link measured samples and their deviation from the *measured*
+  // median (what a real detector has access to).
+  link_samples_.resize(link_.size());
+  for (std::size_t l = 0; l < link_.size(); ++l) {
+    auto& samples = link_samples_[l];
+    samples.reserve(cfg_.samples_per_link);
+    for (int i = 0; i < cfg_.samples_per_link; ++i) {
+      samples.push_back(sample_link(static_cast<int>(l), rng));
+    }
+    const double med = median(samples);
+    for (const double s : samples) deviations_.push_back(std::abs(s - med));
+  }
+}
+
+double RssiStudy::sample_link(int link, Rng& rng) const {
+  double noise = rng.normal(0.0, cfg_.noise_db);
+  if (rng.chance(cfg_.outlier_prob)) noise += rng.normal(0.0, cfg_.outlier_db);
+  return link_median_[link] + noise;
+}
+
+RssiStudy::Rates RssiStudy::rates_at(double threshold_db) const {
+  Rates r;
+  // False positives: honest samples farther than the threshold from their
+  // own link median.
+  std::int64_t fp = 0;
+  for (const double d : deviations_) {
+    if (d > threshold_db) ++fp;
+  }
+  r.false_positive =
+      deviations_.empty()
+          ? 0.0
+          : static_cast<double>(fp) / static_cast<double>(deviations_.size());
+
+  // False negatives: for every receiver, every (victim, attacker) pair —
+  // samples from the attacker's link judged against the victim's median.
+  // A fixed per-call RNG keeps the sweep deterministic and monotone.
+  Rng rng = attack_rng_;
+  std::int64_t fn = 0, total = 0;
+  const int n = cfg_.nodes;
+  auto link_index = [n](int tx, int rx) {
+    // Directed links enumerated tx-major, skipping tx == rx.
+    return tx * (n - 1) + rx - (rx > tx ? 1 : 0);
+  };
+  constexpr int kAttackSamplesPerPair = 4;
+  for (int rx = 0; rx < n; ++rx) {
+    for (int v = 0; v < n; ++v) {
+      if (v == rx) continue;
+      const double victim_median = median(link_samples_[link_index(v, rx)]);
+      for (int a = 0; a < n; ++a) {
+        if (a == rx || a == v) continue;
+        const int al = link_index(a, rx);
+        for (int k = 0; k < kAttackSamplesPerPair; ++k) {
+          const double s = sample_link(al, rng);
+          ++total;
+          if (std::abs(s - victim_median) <= threshold_db) ++fn;
+        }
+      }
+    }
+  }
+  r.false_negative =
+      total == 0 ? 0.0 : static_cast<double>(fn) / static_cast<double>(total);
+  return r;
+}
+
+}  // namespace g80211

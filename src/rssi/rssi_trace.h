@@ -1,0 +1,71 @@
+// Synthetic replacement for the paper's testbed RSSI measurement study
+// (Section VII-B, Figs 21 and 22): 16 nodes spread over an office floor,
+// one sender broadcasting while all others record per-packet RSSI.
+//
+// The generator places nodes uniformly at random in a square, derives each
+// directed link's true median RSSI from two-ray-ground propagation, and
+// draws per-packet samples as median + Gaussian measurement noise + a rare
+// heavy-tailed multipath outlier. The noise magnitudes are calibrated to
+// the paper's observation that ~95% of samples fall within 1 dB of the
+// link median.
+//
+// Fig 22's detector sweep: for every (victim link, attacker link) pair
+// sharing a receiver, a spoofed ACK is an RSSI sample drawn from the
+// attacker's link compared against the victim link's median. False
+// positive = honest sample flagged; false negative = attacker sample
+// accepted. Attacker/victim pairs whose medians coincide by geometry are
+// genuinely hard — the residual false negatives the paper's Fig 22 shows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/phy/propagation.h"
+#include "src/sim/rng.h"
+
+namespace g80211 {
+
+struct RssiStudyConfig {
+  int nodes = 16;
+  int samples_per_link = 200;
+  double area_m = 40.0;         // square side of the office floor
+  double min_separation_m = 2.0;
+  double noise_db = 0.4;
+  double outlier_prob = 0.02;
+  double outlier_db = 2.5;
+};
+
+class RssiStudy {
+ public:
+  RssiStudy(RssiStudyConfig cfg, Rng rng);
+
+  // |RSSI - median(link)| for every sample on every link (Fig 21 input).
+  const std::vector<double>& deviations() const { return deviations_; }
+
+  struct Rates {
+    double false_positive = 0.0;
+    double false_negative = 0.0;
+  };
+  // Detection error rates at a given threshold (one point of Fig 22).
+  Rates rates_at(double threshold_db) const;
+
+  int links() const { return static_cast<int>(link_median_.size()); }
+
+ private:
+  double sample_link(int link, Rng& rng) const;
+
+  RssiStudyConfig cfg_;
+  std::vector<Position> positions_;
+  // Directed links (tx -> rx), tx != rx, with their true median RSSI.
+  struct Link {
+    int tx = 0;
+    int rx = 0;
+  };
+  std::vector<Link> link_;
+  std::vector<double> link_median_;
+  std::vector<std::vector<double>> link_samples_;  // per link
+  std::vector<double> deviations_;
+  mutable Rng attack_rng_;
+};
+
+}  // namespace g80211

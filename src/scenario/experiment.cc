@@ -1,0 +1,71 @@
+#include "src/scenario/experiment.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/analysis/stats.h"
+
+namespace g80211 {
+
+bool quick_mode() {
+  const char* v = std::getenv("G80211_QUICK");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+int default_runs() { return quick_mode() ? 2 : 5; }
+
+Time default_measure() { return quick_mode() ? seconds(2) : seconds(10); }
+
+std::vector<double> median_over_seeds(
+    int runs, std::uint64_t base_seed,
+    const std::function<std::vector<double>(std::uint64_t)>& fn) {
+  assert(runs > 0);
+  std::vector<std::vector<double>> per_metric;
+  for (int r = 0; r < runs; ++r) {
+    const std::vector<double> metrics = fn(base_seed + static_cast<std::uint64_t>(r));
+    if (per_metric.empty()) per_metric.resize(metrics.size());
+    assert(metrics.size() == per_metric.size());
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      per_metric[i].push_back(metrics[i]);
+    }
+  }
+  std::vector<double> medians;
+  medians.reserve(per_metric.size());
+  for (auto& samples : per_metric) medians.push_back(median(samples));
+  return medians;
+}
+
+TableWriter::TableWriter(std::vector<std::string> columns, int width)
+    : columns_(std::move(columns)), width_(width) {}
+
+void TableWriter::print_header() const {
+  for (const auto& c : columns_) std::printf("%*s", width_, c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    for (int j = 0; j < width_; ++j) std::printf("-");
+  }
+  std::printf("\n");
+}
+
+void TableWriter::print_row(const std::vector<double>& values,
+                            const std::string& label) const {
+  std::size_t col = 0;
+  if (!label.empty()) {
+    std::printf("%*s", width_, label.c_str());
+    ++col;
+  }
+  for (const double v : values) {
+    std::printf("%*.4g", width_, v);
+    ++col;
+  }
+  (void)col;
+  std::printf("\n");
+}
+
+void TableWriter::print_text_row(const std::vector<std::string>& cells) const {
+  for (const auto& c : cells) std::printf("%*s", width_, c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace g80211

@@ -1,0 +1,46 @@
+// Experiment harness utilities: median-of-seeds runs (the paper reports
+// the median of 5 runs per scenario), quick-mode scaling for CI, and a
+// small fixed-width table printer for the paper-style output every bench
+// emits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace g80211 {
+
+// Environment variable G80211_QUICK=1 shrinks runs/durations (used by the
+// test suite so integration tests stay fast; benches run full-size).
+bool quick_mode();
+
+// Number of seeded repetitions per data point: 5 (paper) or 2 in quick mode.
+int default_runs();
+
+// Measurement window per run: 10 s, or 2 s in quick mode.
+Time default_measure();
+
+// Run `fn` for `runs` seeds derived from `base_seed`; return the
+// element-wise median of the returned metric vectors.
+std::vector<double> median_over_seeds(
+    int runs, std::uint64_t base_seed,
+    const std::function<std::vector<double>(std::uint64_t)>& fn);
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> columns, int width = 12);
+
+  void print_header() const;
+  void print_row(const std::vector<double>& values,
+                 const std::string& label = "") const;
+  void print_text_row(const std::vector<std::string>& cells) const;
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+}  // namespace g80211

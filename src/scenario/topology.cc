@@ -1,0 +1,68 @@
+#include "src/scenario/topology.h"
+
+#include <cmath>
+
+namespace g80211 {
+
+PairLayout pairs_in_range(int n_pairs) {
+  // Pairs on parallel rows 9 m apart; within a pair, sender and receiver
+  // are 2 m apart. Foreign-station distances are then >= 9 m > 3.2 * 2 m,
+  // so a station's own peer always wins capture against foreign stations.
+  PairLayout layout;
+  for (int i = 0; i < n_pairs; ++i) {
+    const double y = 9.0 * i;
+    layout.senders.push_back({0.0, y});
+    layout.receivers.push_back({2.0, y});
+  }
+  return layout;
+}
+
+SharedApLayout shared_ap(int n_clients) {
+  SharedApLayout layout;
+  layout.ap = {0.0, 0.0};
+  constexpr double kPi = 3.14159265358979323846;
+  const double radius = 2.0;
+  for (int i = 0; i < n_clients; ++i) {
+    const double angle = 2.0 * kPi * i / n_clients;
+    layout.clients.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  return layout;
+}
+
+SharedApLayout spoof_shared_ap(int n_clients) {
+  SharedApLayout layout;
+  layout.ap = {0.0, 0.0};
+  constexpr double kPi = 3.14159265358979323846;
+  // Victims at 1.5 m, the greedy receiver at 6 m: Friis power ratio
+  // (6/1.5)^2 = 16 > the 10x capture threshold.
+  for (int i = 0; i + 1 < n_clients; ++i) {
+    const double angle = kPi * i / std::max(1, n_clients - 1);
+    layout.clients.push_back({1.5 * std::cos(angle), 1.5 * std::sin(angle)});
+  }
+  layout.clients.push_back({0.0, -6.0});
+  return layout;
+}
+
+HiddenPairsLayout hidden_pairs() {
+  HiddenPairsLayout layout;
+  // Senders 200 m apart, receivers between them; 110 m ranges mean each
+  // receiver hears both senders (95 m / 105 m) but the senders cannot
+  // sense each other. The 105/95 power ratio (~1.5 with two-ray) is far
+  // below the 10x capture threshold, so overlaps collide.
+  layout.senders = {{0.0, 0.0}, {200.0, 0.0}};
+  layout.receivers = {{95.0, 0.0}, {105.0, 0.0}};
+  layout.comm_range_m = 110.0;
+  layout.cs_range_m = 110.0;
+  return layout;
+}
+
+DistanceSweepLayout distance_sweep(double separation_m) {
+  DistanceSweepLayout layout;
+  layout.s1 = {0.0, 0.0};
+  layout.r1 = {5.0, 0.0};
+  layout.s2 = {separation_m, 0.0};
+  layout.r2 = {separation_m + 5.0, 0.0};
+  return layout;
+}
+
+}  // namespace g80211

@@ -1,0 +1,64 @@
+// Canonical node layouts for the paper's experiments.
+//
+// Distances are chosen so the physics does what each experiment needs:
+//  * pairs_in_range: everybody decodes everybody (the paper's default);
+//    receivers sit closer to their own senders than any foreign receiver
+//    does, so a victim's real MAC ACK captures a spoofed one whenever both
+//    are transmitted (the paper's Section IV-B evaluation setup; with
+//    two-ray/Friis propagation and a 10 dB capture threshold the distance
+//    ratio must exceed ~sqrt(10)).
+//  * shared_ap: one sender (AP) with several clients.
+//  * hidden_pairs: two sender->receiver pairs whose senders cannot sense
+//    each other while both receivers hear both senders (Fig 18): requires
+//    finite ranges, returned in the struct.
+//  * distance_sweep: Fig 23's two pairs separated by a variable distance
+//    with 55 m communication and 99 m interference ranges.
+#pragma once
+
+#include <vector>
+
+#include "src/phy/propagation.h"
+
+namespace g80211 {
+
+struct PairLayout {
+  std::vector<Position> senders;
+  std::vector<Position> receivers;
+};
+
+// n sender->receiver pairs, all mutually in range. Sender i sits 2 m from
+// its receiver; foreign stations are >= 3.2x farther (capture-safe).
+PairLayout pairs_in_range(int n_pairs);
+
+// One AP at the origin with n clients on a 2 m-radius arc (equidistant, so
+// no client is capture-privileged at the AP).
+struct SharedApLayout {
+  Position ap;
+  std::vector<Position> clients;
+};
+SharedApLayout shared_ap(int n_clients);
+
+// Shared-AP layout for the ACK-spoofing scenarios (paper Section IV-B):
+// the prospective greedy receiver (the LAST client) sits 4x farther from
+// the AP than the victims, so a victim's real MAC ACK always captures a
+// simultaneous spoof at the AP — isolating retransmission suppression
+// from the jamming side effect, as the paper's evaluation does.
+SharedApLayout spoof_shared_ap(int n_clients);
+
+struct HiddenPairsLayout {
+  std::vector<Position> senders;    // 2 senders, mutually out of CS range
+  std::vector<Position> receivers;  // 2 receivers, hearing both senders
+  double comm_range_m = 0;
+  double cs_range_m = 0;
+};
+HiddenPairsLayout hidden_pairs();
+
+// Fig 23: pair 1 fixed, pair 2 at `separation_m`; 55/99 m ranges.
+struct DistanceSweepLayout {
+  Position s1, r1, s2, r2;
+  double comm_range_m = 55.0;
+  double cs_range_m = 99.0;
+};
+DistanceSweepLayout distance_sweep(double separation_m);
+
+}  // namespace g80211

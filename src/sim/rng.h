@@ -1,0 +1,42 @@
+// Deterministic random number generation.
+//
+// xoshiro256** seeded via splitmix64 — fast, high quality, and fully
+// reproducible across platforms (unlike std::default_random_engine or the
+// distribution objects in <random>, whose outputs are implementation
+// defined). All distributions used by the simulator are implemented here so
+// runs are bit-identical everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace g80211 {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Derive an independent stream (for per-node RNGs) from this one.
+  Rng fork();
+
+  std::uint64_t next_u64();
+
+  // Uniform integer in [0, n] (inclusive). n >= 0.
+  std::int64_t uniform_int(std::int64_t n);
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_between(std::int64_t lo, std::int64_t hi);
+  // Uniform double in [0, 1).
+  double uniform();
+  // Bernoulli trial.
+  bool chance(double p);
+  // Standard normal via polar Box-Muller (deterministic).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  // Exponential with given mean.
+  double exponential(double mean);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace g80211

@@ -1,0 +1,47 @@
+#include "src/sim/scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace g80211 {
+
+EventId Scheduler::at(Time when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  auto state = std::make_shared<EventId::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
+  return EventId(std::move(state));
+}
+
+void Scheduler::discard_cancelled_tops() {
+  while (!queue_.empty() && queue_.top().state->cancelled) queue_.pop();
+}
+
+bool Scheduler::step() {
+  discard_cancelled_tops();
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast, standard trick.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  assert(e.when >= now_);
+  now_ = e.when;
+  e.state->fired = true;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+void Scheduler::run_until(Time horizon) {
+  for (;;) {
+    discard_cancelled_tops();
+    if (queue_.empty() || queue_.top().when > horizon) break;
+    if (!step()) break;
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace g80211

@@ -1,0 +1,110 @@
+// Deterministic discrete-event scheduler.
+//
+// Events are closures ordered by (time, insertion sequence); ties break in
+// insertion order so that a run is a pure function of (scenario, seed).
+// Events can be cancelled through the EventId returned at scheduling time;
+// cancellation is O(1) (a tombstone flag) and cancelled events are skipped
+// when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace g80211 {
+
+class Scheduler;
+
+// Handle to a scheduled event; cheap to copy, safe to outlive the event.
+class EventId {
+ public:
+  EventId() = default;
+  // True if the event is still pending (not run, not cancelled).
+  bool pending() const { return state_ && !state_->cancelled && !state_->fired; }
+  void cancel() {
+    if (state_) state_->cancelled = true;
+  }
+
+ private:
+  friend class Scheduler;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventId(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Scheduler {
+ public:
+  Time now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `at` (must be >= now()).
+  EventId at(Time when, std::function<void()> fn);
+  // Schedule `fn` to run `delay` ns from now.
+  EventId after(Time delay, std::function<void()> fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+
+  // Run every event with time <= horizon. The clock ends at `horizon`.
+  void run_until(Time horizon);
+  // Run until no events remain.
+  void run();
+
+  // Number of events executed so far (diagnostics).
+  std::uint64_t executed() const { return executed_; }
+  // Number of events currently queued (including tombstones).
+  std::size_t queued() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Time when = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    std::shared_ptr<EventId::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();  // pop+run one live event; false if queue empty
+  void discard_cancelled_tops();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+// A restartable one-shot timer bound to a scheduler; wraps the
+// schedule/cancel pattern the MAC uses everywhere.
+class Timer {
+ public:
+  Timer(Scheduler& sched, std::function<void()> fn)
+      : sched_(&sched), fn_(std::move(fn)) {}
+
+  void start(Time delay) {
+    cancel();
+    id_ = sched_->after(delay, fn_);
+  }
+  void start_at(Time when) {
+    cancel();
+    id_ = sched_->at(when, fn_);
+  }
+  void cancel() { id_.cancel(); }
+  bool pending() const { return id_.pending(); }
+
+ private:
+  Scheduler* sched_;
+  std::function<void()> fn_;
+  EventId id_;
+};
+
+}  // namespace g80211

@@ -1,0 +1,34 @@
+// Simulation clock: signed 64-bit nanoseconds.
+//
+// 802.11 timing is built from microsecond-scale constants (slot, SIFS,
+// preamble) plus frame airtimes that are not integral microseconds at
+// 11 Mbps / 6 Mbps, so we keep the clock in integer nanoseconds: exact
+// arithmetic, no floating-point drift at slot boundaries.
+#pragma once
+
+#include <cstdint>
+
+namespace g80211 {
+
+using Time = std::int64_t;  // nanoseconds since simulation start
+
+constexpr Time kNever = INT64_MAX;
+
+constexpr Time nanoseconds(std::int64_t n) { return n; }
+constexpr Time microseconds(std::int64_t us) { return us * 1000; }
+constexpr Time milliseconds(std::int64_t ms) { return ms * 1000 * 1000; }
+constexpr Time seconds(std::int64_t s) { return s * 1000 * 1000 * 1000; }
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_micros(Time t) { return static_cast<double>(t) * 1e-3; }
+constexpr double to_millis(Time t) { return static_cast<double>(t) * 1e-6; }
+
+// Airtime of `bits` at `mbps` megabits/s, rounded up to whole nanoseconds.
+constexpr Time tx_time(std::int64_t bits, double mbps) {
+  // bits / (mbps * 1e6) seconds = bits * 1000 / mbps ns
+  const double ns = static_cast<double>(bits) * 1000.0 / mbps;
+  const auto whole = static_cast<Time>(ns);
+  return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+}
+
+}  // namespace g80211

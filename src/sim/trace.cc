@@ -1,0 +1,55 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace g80211 {
+
+std::string TraceRecord::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%12.6fs %-4s ta=%-3d ra=%-3d dur=%8.1fus seq=%-5d%s%s%s",
+                to_seconds(start), frame_type_name(type), ta, ra,
+                to_micros(duration), seq,
+                more_frags ? " frag+" : (frag > 0 ? " frag." : ""),
+                corrupted ? " CORRUPT" : "", collided ? " COLLISION" : "");
+  return buf;
+}
+
+void FrameTracer::attach(Mac& mac) {
+  auto prev = std::move(mac.sniffer);
+  mac.sniffer = [this, prev = std::move(prev)](const Frame& f, const RxInfo& i) {
+    if (prev) prev(f, i);
+    TraceRecord r;
+    r.start = i.start;
+    r.end = i.end;
+    r.type = f.type;
+    r.ta = f.ta;
+    r.ra = f.ra;
+    r.duration = f.duration;
+    r.corrupted = i.corrupted;
+    r.collided = i.collided;
+    r.seq = f.seq;
+    r.frag = f.frag_index;
+    r.more_frags = f.more_frags;
+    r.rssi_dbm = i.rssi_dbm;
+    if (on_record) on_record(r);
+    records_.push_back(std::move(r));
+    if (capacity_ > 0 && records_.size() > capacity_) records_.pop_front();
+  };
+}
+
+void FrameTracer::dump(std::ostream& os) const {
+  for (const auto& r : records_) os << r.to_string() << "\n";
+}
+
+std::int64_t FrameTracer::count(
+    const std::function<bool(const TraceRecord&)>& pred) const {
+  std::int64_t n = 0;
+  for (const auto& r : records_) {
+    if (pred(r)) ++n;
+  }
+  return n;
+}
+
+}  // namespace g80211

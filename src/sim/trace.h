@@ -1,0 +1,62 @@
+// Frame-level tracing — the simulator's equivalent of ns-2's trace files /
+// tcpdump. A FrameTracer attaches to any station's MAC (promiscuous, so
+// one well-placed observer sees a whole hotspot) and records every frame
+// with timing, addressing, Duration, and corruption state. Useful for
+// debugging protocol behaviour and for the examples' annotated output.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "src/mac/mac.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+
+struct TraceRecord {
+  Time start = 0;
+  Time end = 0;
+  FrameType type = FrameType::kData;
+  int ta = kNoAddr;
+  int ra = kNoAddr;
+  Time duration = 0;        // NAV field
+  bool corrupted = false;
+  bool collided = false;
+  int seq = 0;
+  int frag = 0;
+  bool more_frags = false;
+  double rssi_dbm = 0.0;
+
+  std::string to_string() const;
+};
+
+class FrameTracer {
+ public:
+  // Keep at most `capacity` most-recent records (0 = unbounded).
+  explicit FrameTracer(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  // Chain onto a MAC's sniffer.
+  void attach(Mac& mac);
+
+  const std::deque<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  // Optional live sink: called for every record as it is captured.
+  std::function<void(const TraceRecord&)> on_record;
+
+  // Dump all records, one per line.
+  void dump(std::ostream& os) const;
+
+  // Count records matching a predicate.
+  std::int64_t count(const std::function<bool(const TraceRecord&)>& pred) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+};
+
+}  // namespace g80211

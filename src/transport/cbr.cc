@@ -1,0 +1,44 @@
+#include "src/transport/cbr.h"
+
+#include <cassert>
+
+namespace g80211 {
+
+CbrSource::CbrSource(Scheduler& sched, Config cfg, int flow_id, int src_node,
+                     int dst_node, Rng rng)
+    : sched_(&sched),
+      cfg_(cfg),
+      flow_id_(flow_id),
+      src_node_(src_node),
+      dst_node_(dst_node),
+      rng_(rng),
+      timer_(sched, [this] { emit(); }) {
+  assert(cfg_.rate_mbps > 0.0);
+  interval_ = tx_time(8 * static_cast<std::int64_t>(cfg_.payload_bytes),
+                      cfg_.rate_mbps);
+}
+
+void CbrSource::start(Time at) { timer_.start_at(at); }
+
+void CbrSource::stop(Time at) { stop_at_ = at; }
+
+void CbrSource::emit() {
+  if (sched_->now() >= stop_at_) return;
+  auto p = std::make_shared<Packet>();
+  p->flow_id = flow_id_;
+  p->uid = next_uid_++;
+  p->seq = generated_++;
+  p->size_bytes = cfg_.payload_bytes + cfg_.header_bytes;
+  p->src_node = src_node_;
+  p->dst_node = dst_node_;
+  p->created = sched_->now();
+  if (output) output(std::move(p));
+  Time gap = interval_;
+  if (cfg_.jitter > 0.0) {
+    const double factor = 1.0 + cfg_.jitter * (2.0 * rng_.uniform() - 1.0);
+    gap = static_cast<Time>(static_cast<double>(interval_) * factor);
+  }
+  timer_.start(gap);
+}
+
+}  // namespace g80211

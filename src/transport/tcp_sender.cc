@@ -1,0 +1,194 @@
+#include "src/transport/tcp_sender.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace g80211 {
+
+TcpSender::TcpSender(Scheduler& sched, Config cfg, int flow_id, int src_node,
+                     int dst_node)
+    : sched_(&sched),
+      cfg_(cfg),
+      flow_id_(flow_id),
+      src_node_(src_node),
+      dst_node_(dst_node),
+      cwnd_(cfg.initial_cwnd),
+      base_rto_(cfg.initial_rto),
+      rtx_timer_(sched, [this] { on_rto(); }) {}
+
+Time TcpSender::rto() const {
+  const Time backed_off = base_rto_ << std::min(rto_backoff_, 8);
+  return std::min(backed_off, cfg_.max_rto);
+}
+
+void TcpSender::start(Time at) {
+  sched_->at(at, [this] {
+    started_ = true;
+    cwnd_epoch_ = sched_->now();
+    stats_start_ = sched_->now();
+    try_send();
+  });
+}
+
+double TcpSender::window() const {
+  return std::min(cwnd_, static_cast<double>(cfg_.max_window));
+}
+
+void TcpSender::set_cwnd(double cwnd) {
+  const Time now = sched_->now();
+  cwnd_integral_ += cwnd_ * to_seconds(now - cwnd_epoch_);
+  cwnd_epoch_ = now;
+  cwnd_ = std::max(1.0, std::min(cwnd, static_cast<double>(cfg_.max_window)));
+}
+
+double TcpSender::avg_cwnd() const {
+  const Time now = sched_->now();
+  const double total = cwnd_integral_ + cwnd_ * to_seconds(now - cwnd_epoch_);
+  const double span = to_seconds(now - stats_start_);
+  return span <= 0.0 ? cwnd_ : total / span;
+}
+
+void TcpSender::reset_stats() {
+  stats_start_ = sched_->now();
+  cwnd_epoch_ = sched_->now();
+  cwnd_integral_ = 0.0;
+  segments_sent_ = 0;
+  retransmissions_ = 0;
+  timeouts_ = 0;
+}
+
+void TcpSender::try_send() {
+  if (!started_) return;
+  const auto wnd = static_cast<std::int64_t>(window());
+  while (next_to_send_ < highest_ack_ + wnd) {
+    send_segment(next_to_send_, /*is_retx=*/false);
+    ++next_to_send_;
+  }
+}
+
+void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
+  auto p = std::make_shared<Packet>();
+  p->flow_id = flow_id_;
+  p->uid = next_uid_++;
+  p->seq = seq;
+  p->size_bytes = cfg_.mss_bytes + cfg_.header_bytes;
+  p->src_node = src_node_;
+  p->dst_node = dst_node_;
+  p->created = sched_->now();
+  p->tcp.seq = seq;
+  p->tcp.is_ack = false;
+  ++segments_sent_;
+  if (is_retx) {
+    ++retransmissions_;
+    retransmitted_.insert(seq);
+    if (on_retransmit) on_retransmit(seq);
+    if (rtt_timing_ && rtt_seq_ == seq) rtt_timing_ = false;  // Karn
+  } else if (!rtt_timing_) {
+    rtt_timing_ = true;
+    rtt_seq_ = seq;
+    rtt_start_ = sched_->now();
+  }
+  if (!rtx_timer_.pending()) restart_rtx_timer();
+  if (output) output(std::move(p));
+}
+
+void TcpSender::restart_rtx_timer() { rtx_timer_.start(rto()); }
+
+void TcpSender::receive(const PacketPtr& packet) {
+  if (!packet->tcp.is_ack) return;
+  const std::int64_t ack = packet->tcp.ack;
+  if (ack > highest_ack_) {
+    on_new_ack(ack);
+  } else if (ack == highest_ack_ && next_to_send_ > highest_ack_) {
+    on_dup_ack();
+  }
+}
+
+void TcpSender::on_new_ack(std::int64_t ack) {
+  // RTT sampling with Karn's rule: only segments never retransmitted.
+  if (rtt_timing_ && ack > rtt_seq_) {
+    rtt_timing_ = false;
+    if (!retransmitted_.count(rtt_seq_)) {
+      const double m = to_seconds(sched_->now() - rtt_start_);
+      if (!have_rtt_) {
+        srtt_s_ = m;
+        rttvar_s_ = m / 2.0;
+        have_rtt_ = true;
+      } else {
+        rttvar_s_ = 0.75 * rttvar_s_ + 0.25 * std::abs(srtt_s_ - m);
+        srtt_s_ = 0.875 * srtt_s_ + 0.125 * m;
+      }
+      const double rto_s = srtt_s_ + 4.0 * rttvar_s_;
+      base_rto_ = std::clamp<Time>(static_cast<Time>(rto_s * 1e9), cfg_.min_rto,
+                                   cfg_.max_rto);
+    }
+  }
+
+  const std::int64_t newly = ack - highest_ack_;
+  highest_ack_ = ack;
+  retransmitted_.erase(retransmitted_.begin(),
+                       retransmitted_.lower_bound(highest_ack_));
+  dupacks_ = 0;
+  rto_backoff_ = 0;  // progress: collapse the Karn backoff
+
+  if (in_recovery_) {
+    if (ack >= recover_) {
+      // Full acknowledgement: recovery done, deflate to ssthresh.
+      in_recovery_ = false;
+      set_cwnd(ssthresh_);
+    } else {
+      // NewReno partial ACK: the next hole is lost too — retransmit it
+      // immediately and deflate by the amount acknowledged.
+      send_segment(ack, /*is_retx=*/true);
+      set_cwnd(std::max(ssthresh_, cwnd_ - static_cast<double>(newly) + 1.0));
+      restart_rtx_timer();
+      try_send();
+      return;
+    }
+  } else if (cwnd_ < ssthresh_) {
+    set_cwnd(cwnd_ + static_cast<double>(newly));  // slow start
+  } else {
+    set_cwnd(cwnd_ + static_cast<double>(newly) / cwnd_);  // congestion avoidance
+  }
+
+  if (highest_ack_ >= next_to_send_) {
+    rtx_timer_.cancel();  // everything acknowledged
+  } else {
+    restart_rtx_timer();
+  }
+  try_send();
+}
+
+void TcpSender::on_dup_ack() {
+  ++dupacks_;
+  if (in_recovery_) {
+    set_cwnd(cwnd_ + 1.0);  // window inflation per extra dupack
+    try_send();
+    return;
+  }
+  if (dupacks_ == 3) {
+    const double flight = static_cast<double>(next_to_send_ - highest_ack_);
+    ssthresh_ = std::max(flight / 2.0, 2.0);
+    in_recovery_ = true;
+    recover_ = next_to_send_;
+    send_segment(highest_ack_, /*is_retx=*/true);
+    set_cwnd(ssthresh_ + 3.0);
+    restart_rtx_timer();
+  }
+}
+
+void TcpSender::on_rto() {
+  if (highest_ack_ >= next_to_send_) return;  // nothing outstanding
+  ++timeouts_;
+  const double flight = static_cast<double>(next_to_send_ - highest_ack_);
+  ssthresh_ = std::max(flight / 2.0, 2.0);
+  set_cwnd(1.0);
+  dupacks_ = 0;
+  in_recovery_ = false;
+  rtt_timing_ = false;
+  ++rto_backoff_;  // Karn exponential backoff until new data is acked
+  send_segment(highest_ack_, /*is_retx=*/true);
+  restart_rtx_timer();
+}
+
+}  // namespace g80211

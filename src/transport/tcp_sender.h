@@ -1,0 +1,108 @@
+// TCP Reno/NewReno sender (ns-2 Agent/TCP equivalent) with an infinite
+// (FTP) source: slow start, congestion avoidance, 3-dupack fast retransmit
+// with NewReno fast recovery (partial ACKs retransmit the next hole, so a
+// burst of interface-queue drops recovers at one hole per RTT instead of
+// one RTO per hole), Jacobson/Karn RTO estimation with exponential backoff
+// that resets when new data is acknowledged. Sequence numbers are in
+// MSS-sized segments, as in ns-2.
+//
+// Misbehavior 2 (ACK spoofing) operates entirely through this layer's
+// congestion control: when MAC retransmission is suppressed, the loss
+// surfaces here as dupacks/RTO and the window collapses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "src/net/node.h"
+#include "src/net/packet.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+
+class TcpSender : public PacketSink {
+ public:
+  struct Config {
+    int mss_bytes = 1024;       // application payload per segment
+    int header_bytes = 40;      // IP + TCP headers
+    int max_window = 128;       // receiver window, segments
+    double initial_cwnd = 2.0;  // segments
+    Time min_rto = milliseconds(200);
+    Time initial_rto = seconds(1);
+    Time max_rto = seconds(64);
+  };
+
+  TcpSender(Scheduler& sched, Config cfg, int flow_id, int src_node, int dst_node);
+
+  std::function<void(PacketPtr)> output;   // toward the network
+  // Cross-layer detection tap: fired whenever a segment is retransmitted
+  // (TCP-level loss recovery), with the segment number.
+  std::function<void(std::int64_t seq)> on_retransmit;
+
+  void start(Time at);
+
+  // PacketSink: TCP ACKs coming back.
+  void receive(const PacketPtr& packet) override;
+
+  // --- statistics ---------------------------------------------------------
+  double cwnd() const { return cwnd_; }
+  // Time-averaged congestion window (paper Table II metric).
+  double avg_cwnd() const;
+  void reset_stats();
+  std::int64_t segments_sent() const { return segments_sent_; }
+  std::int64_t retransmissions() const { return retransmissions_; }
+  std::int64_t timeouts() const { return timeouts_; }
+  Time rto() const;
+  int flow_id() const { return flow_id_; }
+
+ private:
+  void try_send();
+  void send_segment(std::int64_t seq, bool is_retx);
+  void on_new_ack(std::int64_t ack);
+  void on_dup_ack();
+  void on_rto();
+  void set_cwnd(double cwnd);
+  void restart_rtx_timer();
+  double window() const;
+
+  Scheduler* sched_;
+  Config cfg_;
+  int flow_id_;
+  int src_node_;
+  int dst_node_;
+
+  bool started_ = false;
+  std::int64_t next_to_send_ = 0;  // next new segment number
+  std::int64_t highest_ack_ = 0;   // next segment expected by the receiver
+  double cwnd_ = 1.0;
+  double ssthresh_ = 64.0;
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;  // highest segment outstanding when recovery began
+  std::set<std::int64_t> retransmitted_;  // Karn's rule bookkeeping
+
+  // RTT estimation (seconds).
+  bool rtt_timing_ = false;
+  std::int64_t rtt_seq_ = 0;
+  Time rtt_start_ = 0;
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  bool have_rtt_ = false;
+  Time base_rto_;        // from the RTT estimator
+  int rto_backoff_ = 0;  // consecutive-timeout exponent (Karn backoff)
+  Timer rtx_timer_;
+
+  // cwnd time-average accounting.
+  Time cwnd_epoch_ = 0;
+  Time stats_start_ = 0;
+  double cwnd_integral_ = 0.0;
+
+  std::int64_t segments_sent_ = 0;
+  std::int64_t retransmissions_ = 0;
+  std::int64_t timeouts_ = 0;
+  std::uint64_t next_uid_ = 1;
+};
+
+}  // namespace g80211

@@ -1,0 +1,50 @@
+#include "src/transport/tcp_sink.h"
+
+namespace g80211 {
+
+void TcpSink::receive(const PacketPtr& packet) {
+  if (packet->tcp.is_ack) return;
+  const std::int64_t seq = packet->tcp.seq;
+
+  if (ever_received_.insert(seq).second) {
+    ++segments_;
+  } else {
+    ++duplicates_;
+  }
+
+  if (seq == next_expected_) {
+    ++next_expected_;
+    while (!out_of_order_.empty() && *out_of_order_.begin() == next_expected_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++next_expected_;
+    }
+  } else if (seq > next_expected_) {
+    out_of_order_.insert(seq);
+  }
+
+  auto ack = std::make_shared<Packet>();
+  ack->flow_id = flow_id_;
+  ack->uid = next_uid_++;
+  ack->seq = next_expected_;
+  ack->size_bytes = header_bytes_;  // pure ACK: headers only
+  ack->src_node = sink_node_;
+  ack->dst_node = sender_node_;
+  ack->created = sched_->now();
+  ack->tcp.ack = next_expected_;
+  ack->tcp.is_ack = true;
+  if (output) output(std::move(ack));
+}
+
+void TcpSink::reset() {
+  segments_ = 0;
+  duplicates_ = 0;
+  measure_start_ = sched_->now();
+}
+
+double TcpSink::goodput_mbps() const {
+  const double elapsed = to_seconds(sched_->now() - measure_start_);
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(segments_ * mss_bytes_) * 8.0 / elapsed / 1e6;
+}
+
+}  // namespace g80211

@@ -1,0 +1,28 @@
+#include "src/transport/udp_sink.h"
+
+#include <algorithm>
+
+namespace g80211 {
+
+void UdpSink::receive(const PacketPtr& packet) {
+  if (!seen_.insert(packet->seq).second) {
+    ++duplicates_;
+    return;
+  }
+  ++packets_;
+  highest_seq_ = std::max(highest_seq_, packet->seq);
+}
+
+void UdpSink::reset() {
+  packets_ = 0;
+  duplicates_ = 0;
+  measure_start_ = sched_->now();
+}
+
+double UdpSink::goodput_mbps() const {
+  const double elapsed = to_seconds(sched_->now() - measure_start_);
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(payload_bytes_received()) * 8.0 / elapsed / 1e6;
+}
+
+}  // namespace g80211

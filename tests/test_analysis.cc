@@ -1,0 +1,152 @@
+// Analysis toolkit: summary statistics, CDFs, Table III helper, and the
+// Eq. (1)/(2) NAV-inflation send-probability model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/fer.h"
+#include "src/analysis/nav_model.h"
+#include "src/analysis/stats.h"
+
+namespace g80211 {
+namespace {
+
+TEST(Stats, MeanMedianBasics) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5, 1, 9}), 5.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({7}), 7.0);
+}
+
+TEST(Stats, MedianIsRobustToOutliers) {
+  EXPECT_DOUBLE_EQ(median({1, 2, 3, 4, 1000}), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 5.0);
+}
+
+TEST(Stats, StddevMatchesHandComputation) {
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotoneAndComplete) {
+  const auto cdf = empirical_cdf({3, 1, 2, 2, 5});
+  ASSERT_EQ(cdf.size(), 4u);  // distinct values: 1 2 3 5
+  EXPECT_DOUBLE_EQ(cdf.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].x, cdf[i - 1].x);
+    EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 2.0), 0.6);   // 3 of 5 samples <= 2
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 99.0), 1.0);
+}
+
+TEST(FerTable, RowsMatchErrorModel) {
+  const auto rows = table3();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_DOUBLE_EQ(rows[0].ber, 1e-5);
+  EXPECT_NEAR(rows[0].tcp_data, 1.130e-2, 1e-4);
+  EXPECT_NEAR(rows[4].tcp_data, 5.971e-1, 1e-3);
+  for (const auto& r : rows) {
+    EXPECT_LT(r.ack_cts, r.rts);
+    EXPECT_LT(r.rts, r.tcp_ack);
+    EXPECT_LT(r.tcp_ack, r.tcp_data);
+  }
+}
+
+TEST(NavModel, NormalizeHistogram) {
+  std::map<int, std::int64_t> h{{31, 3}, {63, 1}};
+  const auto d = normalize_histogram(h);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].first, 31);
+  EXPECT_DOUBLE_EQ(d[0].second, 0.75);
+  EXPECT_DOUBLE_EQ(d[1].second, 0.25);
+  EXPECT_TRUE(normalize_histogram({}).empty());
+}
+
+TEST(NavModel, NoInflationIsSymmetric) {
+  const CwDistribution cw{{31, 1.0}};
+  const auto p = nav_inflation_send_prob(cw, cw, 0);
+  EXPECT_NEAR(p.gs, p.ns, 1e-12);
+  EXPECT_NEAR(p.gs_ratio(), 0.5, 1e-12);
+}
+
+TEST(NavModel, SendProbabilityMonotoneInInflation) {
+  const CwDistribution cw{{31, 1.0}};
+  double prev_ratio = 0.0;
+  for (int v : {0, 2, 5, 10, 20, 30}) {
+    const auto p = nav_inflation_send_prob(cw, cw, v);
+    EXPECT_GE(p.gs_ratio(), prev_ratio);
+    prev_ratio = p.gs_ratio();
+  }
+}
+
+TEST(NavModel, LargeInflationGivesGsEverything) {
+  const CwDistribution cw{{31, 1.0}};
+  const auto p = nav_inflation_send_prob(cw, cw, 33);
+  EXPECT_NEAR(p.gs, 1.0, 1e-12) << "GS always wins when v exceeds CW";
+  EXPECT_NEAR(p.ns, 0.0, 1e-12);
+  EXPECT_NEAR(p.gs_ratio(), 1.0, 1e-12);
+}
+
+TEST(NavModel, HandComputedSmallCase) {
+  // CW = 1 for both: B in {0, 1} uniformly. v = 0:
+  // Pr[B_GS <= B_NS + 1] = 1 (every combination satisfies it).
+  const CwDistribution cw{{1, 1.0}};
+  const auto p = nav_inflation_send_prob(cw, cw, 0);
+  EXPECT_NEAR(p.gs, 1.0, 1e-12);
+  EXPECT_NEAR(p.ns, 1.0, 1e-12);
+}
+
+TEST(NavModel, VictimLargerCwLowersItsShare) {
+  const CwDistribution gs{{31, 1.0}};
+  const CwDistribution ns_small{{31, 1.0}};
+  const CwDistribution ns_large{{255, 1.0}};
+  const auto fair = nav_inflation_send_prob(gs, ns_small, 0);
+  const auto skewed = nav_inflation_send_prob(gs, ns_large, 0);
+  EXPECT_GT(skewed.gs_ratio(), fair.gs_ratio());
+}
+
+TEST(NavModel, MixedDistributionsAreConvexCombinations) {
+  const CwDistribution gs{{31, 1.0}};
+  const CwDistribution pure_a{{31, 1.0}};
+  const CwDistribution pure_b{{63, 1.0}};
+  const CwDistribution mixed{{31, 0.5}, {63, 0.5}};
+  const auto pa = nav_inflation_send_prob(gs, pure_a, 5);
+  const auto pb = nav_inflation_send_prob(gs, pure_b, 5);
+  const auto pm = nav_inflation_send_prob(gs, mixed, 5);
+  EXPECT_NEAR(pm.gs, 0.5 * (pa.gs + pb.gs), 1e-12);
+  EXPECT_NEAR(pm.ns, 0.5 * (pa.ns + pb.ns), 1e-12);
+}
+
+TEST(NavModel, StarvationThresholdMatchesStandards) {
+  // CWmin slots: 31*20us on 802.11b, 15*9us on 802.11a — the closed-form
+  // version of Fig 1's "+0.6 ms completely grabs the medium".
+  EXPECT_EQ(nav_starvation_threshold(WifiParams::b11()), microseconds(620));
+  EXPECT_EQ(nav_starvation_threshold(WifiParams::a6()), microseconds(135));
+  // Consistency with the probabilistic model: at the threshold GS wins
+  // every round.
+  const CwDistribution cw{{31, 1.0}};
+  const auto p = nav_inflation_send_prob(cw, cw, 31);
+  EXPECT_NEAR(p.gs, 1.0, 1e-12);
+}
+
+TEST(NavModel, EmptyDistributionsReturnZero) {
+  const auto p = nav_inflation_send_prob({}, {{31, 1.0}}, 5);
+  EXPECT_DOUBLE_EQ(p.gs, 0.0);
+  EXPECT_DOUBLE_EQ(p.gs_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace g80211

@@ -1,0 +1,111 @@
+// Composite greedy policy: chaining semantics and an end-to-end combined
+// attack (NAV inflation + ACK spoofing at once) with GRC catching both.
+#include <gtest/gtest.h>
+
+#include "src/detect/grc.h"
+#include "src/greedy/ack_spoofing.h"
+#include "src/greedy/composite.h"
+#include "src/greedy/fake_ack.h"
+#include "src/greedy/nav_inflation.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+
+namespace g80211 {
+namespace {
+
+TEST(CompositePolicy, DurationAdjustmentsChain) {
+  Rng rng(1);
+  CompositePolicy combo;
+  combo.emplace<NavInflationPolicy>(NavFrameMask::cts_only(), microseconds(100));
+  combo.emplace<NavInflationPolicy>(NavFrameMask::cts_only(), microseconds(50));
+  EXPECT_EQ(combo.adjust_duration(FrameType::kCts, microseconds(10), rng),
+            microseconds(160));
+  EXPECT_EQ(combo.adjust_duration(FrameType::kAck, microseconds(10), rng),
+            microseconds(10));
+  EXPECT_EQ(combo.size(), 2u);
+}
+
+TEST(CompositePolicy, BooleanHooksOr) {
+  Rng rng(2);
+  CompositePolicy combo;
+  combo.emplace<AckSpoofingPolicy>(1.0, std::set<int>{7});
+  combo.emplace<FakeAckPolicy>(1.0);
+
+  Frame foreign;
+  foreign.type = FrameType::kData;
+  foreign.ra = 7;
+  RxInfo clean;
+  EXPECT_TRUE(combo.spoof_ack_for(foreign, clean, rng));
+  foreign.ra = 8;
+  EXPECT_FALSE(combo.spoof_ack_for(foreign, clean, rng));
+
+  Frame own;
+  own.type = FrameType::kData;
+  own.ra = 1;
+  RxInfo corrupted;
+  corrupted.corrupted = true;
+  corrupted.addresses_intact = true;
+  EXPECT_TRUE(combo.fake_ack_for(own, corrupted, rng));
+  EXPECT_FALSE(combo.fake_ack_for(own, clean, rng));
+}
+
+TEST(CompositePolicy, EmptyCompositeIsHonest) {
+  Rng rng(3);
+  CompositePolicy combo;
+  EXPECT_EQ(combo.adjust_duration(FrameType::kCts, microseconds(5), rng),
+            microseconds(5));
+  Frame f;
+  f.type = FrameType::kData;
+  RxInfo i;
+  EXPECT_FALSE(combo.spoof_ack_for(f, i, rng));
+}
+
+TEST(CompositePolicy, CombinedAttackEndToEnd) {
+  // NAV inflation + ACK spoofing from the same receiver: the victim is
+  // hit twice; GRC's two detectors each catch their half.
+  auto run = [](bool attack, bool grc_on) {
+    SimConfig cfg;
+    cfg.measure = seconds(4);
+    cfg.seed = 111;
+    cfg.default_ber = 2e-4;
+    cfg.capture_threshold = 10.0;
+    Sim sim(cfg);
+    const PairLayout l = pairs_in_range(2);
+    Node& ns = sim.add_node(l.senders[0]);
+    Node& gs = sim.add_node(l.senders[1]);
+    Node& nr = sim.add_node(l.receivers[0]);
+    Node& gr = sim.add_node(l.receivers[1]);
+    auto fn = sim.add_tcp_flow(ns, nr);
+    auto fg = sim.add_tcp_flow(gs, gr);
+    CompositePolicy combo;
+    if (attack) {
+      combo.emplace<NavInflationPolicy>(NavFrameMask::cts_only(), milliseconds(5));
+      combo.emplace<AckSpoofingPolicy>(1.0, std::set<int>{nr.id()});
+      gr.mac().set_greedy_policy(&combo);
+    }
+    Grc grc(sim.scheduler(), sim.params());
+    if (grc_on) {
+      grc.protect(ns.mac());
+      grc.protect(nr.mac());
+    }
+    sim.run();
+    struct Out {
+      double victim, greedy;
+      std::int64_t nav_det, spoof_det;
+    };
+    return Out{fn.goodput_mbps(), fg.goodput_mbps(), grc.nav_detections(),
+               grc.spoof_detections()};
+  };
+
+  const auto honest = run(false, false);
+  const auto attacked = run(true, false);
+  const auto defended = run(true, true);
+  EXPECT_LT(attacked.victim, 0.25 * honest.victim) << "combined attack bites";
+  EXPECT_GT(attacked.greedy, honest.greedy);
+  EXPECT_GT(defended.victim, 2.0 * attacked.victim) << "GRC recovers much of it";
+  EXPECT_GT(defended.nav_det, 0) << "inflations caught";
+  EXPECT_GT(defended.spoof_det, 0) << "spoofs caught";
+}
+
+}  // namespace
+}  // namespace g80211

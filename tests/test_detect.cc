@@ -1,0 +1,171 @@
+// Detection modules in isolation: RSSI monitor, spoof detector decision
+// rule, NAV validator expectations, cross-layer detector, fake-ACK
+// detector arithmetic.
+#include <gtest/gtest.h>
+
+#include "src/detect/cross_layer_detector.h"
+#include "src/detect/fake_ack_detector.h"
+#include "src/detect/nav_validator.h"
+#include "src/detect/rssi_monitor.h"
+#include "src/detect/spoof_detector.h"
+#include "src/mac/durations.h"
+
+namespace g80211 {
+namespace {
+
+TEST(RssiMonitor, NoSamplesNoMedian) {
+  RssiMonitor m;
+  EXPECT_FALSE(m.median(1).has_value());
+  EXPECT_EQ(m.samples(1), 0u);
+}
+
+TEST(RssiMonitor, MedianOfOddAndEvenCounts) {
+  RssiMonitor m;
+  m.add_sample(1, -50.0);
+  EXPECT_DOUBLE_EQ(*m.median(1), -50.0);
+  m.add_sample(1, -60.0);
+  m.add_sample(1, -40.0);
+  EXPECT_DOUBLE_EQ(*m.median(1), -50.0);
+}
+
+TEST(RssiMonitor, PerPeerIsolation) {
+  RssiMonitor m;
+  m.add_sample(1, -50.0);
+  m.add_sample(2, -80.0);
+  EXPECT_DOUBLE_EQ(*m.median(1), -50.0);
+  EXPECT_DOUBLE_EQ(*m.median(2), -80.0);
+}
+
+TEST(RssiMonitor, SlidingWindowForgetsOldSamples) {
+  RssiMonitor m(4);
+  for (int i = 0; i < 4; ++i) m.add_sample(1, -80.0);
+  for (int i = 0; i < 4; ++i) m.add_sample(1, -50.0);
+  EXPECT_DOUBLE_EQ(*m.median(1), -50.0) << "old -80 samples aged out";
+  EXPECT_EQ(m.samples(1), 4u);
+}
+
+TEST(RssiMonitor, RobustToOutliers) {
+  RssiMonitor m;
+  for (int i = 0; i < 20; ++i) m.add_sample(1, -50.0 + 0.1 * (i % 3));
+  m.add_sample(1, -20.0);  // single multipath spike
+  EXPECT_NEAR(*m.median(1), -50.0, 0.2);
+}
+
+TEST(SpoofDetector, AcceptsWithoutProfile) {
+  SpoofDetector d(1.0);
+  EXPECT_FALSE(d.should_ignore(1, -55.0));
+}
+
+TEST(SpoofDetector, FlagsBeyondThresholdOnly) {
+  SpoofDetector d(1.0);
+  for (int i = 0; i < 10; ++i) d.monitor().add_sample(1, -50.0);
+  EXPECT_FALSE(d.should_ignore(1, -50.5));
+  EXPECT_FALSE(d.should_ignore(1, -49.2));
+  EXPECT_TRUE(d.should_ignore(1, -53.0));
+  EXPECT_TRUE(d.should_ignore(1, -47.0));
+}
+
+TEST(SpoofDetector, ThresholdIsConfigurable) {
+  SpoofDetector strict(0.2), loose(5.0);
+  for (int i = 0; i < 5; ++i) {
+    strict.monitor().add_sample(1, -50.0);
+    loose.monitor().add_sample(1, -50.0);
+  }
+  EXPECT_TRUE(strict.should_ignore(1, -50.5));
+  EXPECT_FALSE(loose.should_ignore(1, -53.0));
+}
+
+// --- NavValidator expectations (standalone; attach() paths are covered by
+// --- the integration tests).
+class NavValidatorTest : public ::testing::Test {
+ protected:
+  NavValidatorTest() : params_(WifiParams::b11()), validator_(sched_, params_) {}
+  Scheduler sched_;
+  WifiParams params_;
+  NavValidator validator_;
+};
+
+TEST_F(NavValidatorTest, AckNavMustBeZero) {
+  Frame ack;
+  ack.type = FrameType::kAck;
+  ack.duration = milliseconds(30);
+  EXPECT_EQ(validator_.expected_duration(ack), 0);
+}
+
+TEST_F(NavValidatorTest, DataNavClampsToSifsPlusAck) {
+  Frame data;
+  data.type = FrameType::kData;
+  data.duration = milliseconds(30);
+  EXPECT_EQ(validator_.expected_duration(data), Durations::data(params_));
+  data.duration = microseconds(5);  // honest small value passes through
+  EXPECT_EQ(validator_.expected_duration(data), microseconds(5));
+}
+
+TEST_F(NavValidatorTest, RtsClampsToMtuBound) {
+  Frame rts;
+  rts.type = FrameType::kRts;
+  rts.duration = WifiParams::kMaxNav;
+  EXPECT_EQ(validator_.expected_duration(rts), Durations::max_rts(params_));
+}
+
+TEST_F(NavValidatorTest, CtsWithoutContextUsesMtuBound) {
+  Frame cts;
+  cts.type = FrameType::kCts;
+  cts.ra = 5;
+  cts.duration = milliseconds(30);
+  EXPECT_EQ(validator_.expected_duration(cts), Durations::max_cts(params_));
+}
+
+TEST_F(NavValidatorTest, HonestCtsWithoutContextPassesThrough) {
+  Frame cts;
+  cts.type = FrameType::kCts;
+  cts.ra = 5;
+  cts.duration = Durations::cts(params_, 1064);
+  EXPECT_EQ(validator_.expected_duration(cts), cts.duration)
+      << "honest value is below the bound and must be preserved";
+}
+
+TEST(CrossLayerDetector, CountsOnlyMacAckedRetransmissions) {
+  Scheduler sched;
+  Channel channel(sched, WifiParams::b11());
+  Phy phy(channel, 0, {0, 0}, Rng(1));
+  Mac mac(sched, phy, WifiParams::b11(), Rng(2));
+  TcpSender tcp(sched, {}, /*flow=*/9, 0, 1);
+  CrossLayerDetector det(3);
+  det.attach(mac, tcp);
+
+  // Simulate MAC acks via the tap the detector chained onto.
+  auto seg = [](std::int64_t seq, int flow) {
+    auto p = std::make_shared<Packet>();
+    p->flow_id = flow;
+    p->tcp.seq = seq;
+    return p;
+  };
+  mac.tx_done_cb(seg(1, 9), true);
+  mac.tx_done_cb(seg(2, 9), true);
+  mac.tx_done_cb(seg(3, 9), false);   // not MAC-acked
+  mac.tx_done_cb(seg(4, 77), true);   // different flow
+  EXPECT_EQ(det.mac_acked_segments(), 2);
+
+  tcp.on_retransmit(1);  // suspicious: MAC said delivered
+  tcp.on_retransmit(3);  // fine: MAC loss
+  tcp.on_retransmit(2);  // suspicious
+  EXPECT_EQ(det.suspicious_retransmissions(), 2);
+  EXPECT_FALSE(det.detected());
+  tcp.on_retransmit(1);
+  EXPECT_TRUE(det.detected());
+}
+
+TEST(FakeAckDetectorMath, ExpectedAppLossFollowsPowerLaw) {
+  Scheduler sched;
+  Channel channel(sched, WifiParams::b11());
+  Node sender(sched, channel, 0, {0, 0}, Rng(3));
+  FakeAckDetector det(sched, sender, 1, 99);
+  // No traffic yet: losses are zero and nothing is detected.
+  EXPECT_DOUBLE_EQ(det.mac_loss(), 0.0);
+  EXPECT_DOUBLE_EQ(det.application_loss(), 0.0);
+  EXPECT_FALSE(det.detected());
+}
+
+}  // namespace
+}  // namespace g80211

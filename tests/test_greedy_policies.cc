@@ -1,0 +1,157 @@
+// Greedy-policy units: frame masks, greedy-percentage gating, victim
+// filters, corruption preconditions.
+#include <gtest/gtest.h>
+
+#include "src/greedy/ack_spoofing.h"
+#include "src/greedy/fake_ack.h"
+#include "src/greedy/nav_inflation.h"
+
+namespace g80211 {
+namespace {
+
+Frame data_to(int ra, bool corrupted_irrelevant = false) {
+  (void)corrupted_irrelevant;
+  Frame f;
+  f.type = FrameType::kData;
+  f.ta = 0;
+  f.ra = ra;
+  return f;
+}
+
+RxInfo info(bool corrupted) {
+  RxInfo i;
+  i.corrupted = corrupted;
+  i.addresses_intact = true;
+  return i;
+}
+
+TEST(NavInflation, OnlyMaskedFrameTypesInflate) {
+  Rng rng(1);
+  NavInflationPolicy p(NavFrameMask::cts_only(), milliseconds(10));
+  EXPECT_EQ(p.adjust_duration(FrameType::kCts, microseconds(100), rng),
+            microseconds(100) + milliseconds(10));
+  EXPECT_EQ(p.adjust_duration(FrameType::kAck, microseconds(100), rng),
+            microseconds(100));
+  EXPECT_EQ(p.adjust_duration(FrameType::kRts, microseconds(100), rng),
+            microseconds(100));
+  EXPECT_EQ(p.adjust_duration(FrameType::kData, microseconds(100), rng),
+            microseconds(100));
+}
+
+TEST(NavInflation, AllMaskCoversEveryType) {
+  Rng rng(1);
+  NavInflationPolicy p(NavFrameMask::all(), microseconds(500));
+  for (FrameType t : {FrameType::kCts, FrameType::kAck, FrameType::kRts,
+                      FrameType::kData}) {
+    EXPECT_EQ(p.adjust_duration(t, 0, rng), microseconds(500));
+  }
+  EXPECT_EQ(p.inflations_applied(), 4);
+}
+
+TEST(NavInflation, RtsAndCtsMask) {
+  Rng rng(1);
+  NavInflationPolicy p(NavFrameMask::rts_and_cts(), microseconds(500));
+  EXPECT_GT(p.adjust_duration(FrameType::kRts, 0, rng), 0);
+  EXPECT_GT(p.adjust_duration(FrameType::kCts, 0, rng), 0);
+  EXPECT_EQ(p.adjust_duration(FrameType::kAck, 0, rng), 0);
+}
+
+TEST(NavInflation, GreedyPercentageGatesProbabilistically) {
+  Rng rng(2);
+  NavInflationPolicy p(NavFrameMask::ack_only(), microseconds(100), 0.3);
+  int inflated = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (p.adjust_duration(FrameType::kAck, 0, rng) > 0) ++inflated;
+  }
+  EXPECT_NEAR(static_cast<double>(inflated) / n, 0.3, 0.02);
+  EXPECT_EQ(p.inflations_applied(), inflated);
+}
+
+TEST(NavInflation, ZeroInflationIsIdentity) {
+  Rng rng(3);
+  NavInflationPolicy p(NavFrameMask::all(), 0);
+  EXPECT_EQ(p.adjust_duration(FrameType::kCts, microseconds(42), rng),
+            microseconds(42));
+  EXPECT_EQ(p.inflations_applied(), 0);
+}
+
+TEST(AckSpoofing, SpoofsForeignDataOnly) {
+  Rng rng(4);
+  AckSpoofingPolicy p(1.0);
+  EXPECT_TRUE(p.spoof_ack_for(data_to(7), info(false), rng));
+  Frame rts = data_to(7);
+  rts.type = FrameType::kRts;
+  EXPECT_FALSE(p.spoof_ack_for(rts, info(false), rng));
+}
+
+TEST(AckSpoofing, VictimFilterRestrictsTargets) {
+  Rng rng(5);
+  AckSpoofingPolicy p(1.0, {7});
+  EXPECT_TRUE(p.spoof_ack_for(data_to(7), info(false), rng));
+  EXPECT_FALSE(p.spoof_ack_for(data_to(8), info(false), rng));
+}
+
+TEST(AckSpoofing, EmptyVictimSetSpoofsEveryone) {
+  Rng rng(6);
+  AckSpoofingPolicy p(1.0);
+  EXPECT_TRUE(p.spoof_ack_for(data_to(7), info(false), rng));
+  EXPECT_TRUE(p.spoof_ack_for(data_to(8), info(false), rng));
+}
+
+TEST(AckSpoofing, CorruptedSniffRespectsFlag) {
+  Rng rng(7);
+  AckSpoofingPolicy p(1.0);
+  EXPECT_TRUE(p.spoof_ack_for(data_to(7), info(true), rng))
+      << "spoofs corrupted sniffs by default (attacker can't know)";
+  p.spoof_on_corrupted = false;
+  EXPECT_FALSE(p.spoof_ack_for(data_to(7), info(true), rng));
+  EXPECT_TRUE(p.spoof_ack_for(data_to(7), info(false), rng));
+}
+
+TEST(AckSpoofing, GreedyPercentageGates) {
+  Rng rng(8);
+  AckSpoofingPolicy p(0.2);
+  int spoofed = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (p.spoof_ack_for(data_to(7), info(false), rng)) ++spoofed;
+  }
+  EXPECT_NEAR(static_cast<double>(spoofed) / n, 0.2, 0.02);
+  EXPECT_EQ(p.spoof_decisions(), spoofed);
+}
+
+TEST(FakeAck, OnlyAcksCorruptedData) {
+  Rng rng(9);
+  FakeAckPolicy p(1.0);
+  EXPECT_TRUE(p.fake_ack_for(data_to(1), info(true), rng));
+  EXPECT_FALSE(p.fake_ack_for(data_to(1), info(false), rng))
+      << "uncorrupted frames are ACKed by the honest path";
+  Frame rts = data_to(1);
+  rts.type = FrameType::kRts;
+  EXPECT_FALSE(p.fake_ack_for(rts, info(true), rng));
+}
+
+TEST(FakeAck, GreedyPercentageGates) {
+  Rng rng(10);
+  FakeAckPolicy p(0.5);
+  int faked = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (p.fake_ack_for(data_to(1), info(true), rng)) ++faked;
+  }
+  EXPECT_NEAR(static_cast<double>(faked) / n, 0.5, 0.02);
+  EXPECT_EQ(p.fakes(), faked);
+}
+
+TEST(GreedyPolicyBase, DefaultsAreHonest) {
+  Rng rng(11);
+  GreedyPolicy honest;
+  EXPECT_EQ(honest.adjust_duration(FrameType::kCts, microseconds(5), rng),
+            microseconds(5));
+  EXPECT_FALSE(honest.spoof_ack_for(data_to(1), info(false), rng));
+  EXPECT_FALSE(honest.fake_ack_for(data_to(1), info(true), rng));
+}
+
+}  // namespace
+}  // namespace g80211

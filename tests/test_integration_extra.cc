@@ -1,0 +1,187 @@
+// Cross-cutting integration sweeps: scenario families the benches sweep
+// in full, pinned here at single operating points so regressions surface
+// in seconds (shared-AP head-of-line blocking, spoofing with many pairs,
+// fake-ACK scaling, fairness-index ranking of the attacks).
+#include <gtest/gtest.h>
+
+#include "src/analysis/stats.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+
+namespace g80211 {
+namespace {
+
+SimConfig base_cfg(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.measure = seconds(4);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SharedApTcp, GreedyGainShrinksWithMoreClients) {
+  // Fig 10(a) vs 10(b): head-of-line blocking dilutes the attack as the
+  // AP serves more honest clients.
+  auto relative_gain = [](int n_clients) {
+    Sim sim(base_cfg(101));
+    const auto l = shared_ap(n_clients);
+    Node& ap = sim.add_node(l.ap);
+    std::vector<Node*> clients;
+    for (int i = 0; i < n_clients; ++i) clients.push_back(&sim.add_node(l.clients[i]));
+    std::vector<Sim::TcpFlow> flows;
+    for (int i = 0; i < n_clients; ++i) flows.push_back(sim.add_tcp_flow(ap, *clients[i]));
+    sim.make_nav_inflator(*clients.back(), NavFrameMask::cts_only(), milliseconds(10));
+    sim.run();
+    double normal = 0.0;
+    for (int i = 0; i + 1 < n_clients; ++i) normal += flows[i].goodput_mbps();
+    normal /= (n_clients - 1);
+    return flows.back().goodput_mbps() / std::max(normal, 1e-6);
+  };
+  const double gain2 = relative_gain(2);
+  const double gain6 = relative_gain(6);
+  EXPECT_GT(gain2, 1.5) << "two clients: clear gain";
+  EXPECT_LT(gain6, gain2) << "six clients: diluted gain";
+}
+
+TEST(SpoofScaling, GreedyDominatesUnderBothApArrangements) {
+  // Fig 14: the attacker wins decisively whether the victims share its AP
+  // or have their own. (The paper additionally reports a *smaller* gap
+  // under one shared AP; in our reproduction that contrast is muted —
+  // at GP=100 the victims' TCP collapses so completely that head-of-line
+  // coupling has little left to couple. See EXPERIMENTS.md.)
+  const double ber = 2e-4;
+  double shared_gap = 0.0, separate_gap = 0.0;
+  {
+    SimConfig cfg = base_cfg(102);
+    cfg.default_ber = ber;
+    cfg.capture_threshold = 10.0;
+    Sim sim(cfg);
+    const auto l = spoof_shared_ap(3);  // capture-safe: spoofing, not jamming
+    Node& ap = sim.add_node(l.ap);
+    Node& n1 = sim.add_node(l.clients[0]);
+    Node& n2 = sim.add_node(l.clients[1]);
+    Node& gr = sim.add_node(l.clients[2]);
+    auto f1 = sim.add_tcp_flow(ap, n1);
+    auto f2 = sim.add_tcp_flow(ap, n2);
+    auto fg = sim.add_tcp_flow(ap, gr);
+    sim.make_ack_spoofer(gr, 1.0, {n1.id(), n2.id()});
+    sim.run();
+    shared_gap = fg.goodput_mbps() - 0.5 * (f1.goodput_mbps() + f2.goodput_mbps());
+  }
+  {
+    SimConfig cfg = base_cfg(103);
+    cfg.default_ber = ber;
+    cfg.capture_threshold = 10.0;
+    Sim sim(cfg);
+    const auto l = pairs_in_range(3);
+    std::vector<Node*> senders, receivers;
+    for (int i = 0; i < 3; ++i) senders.push_back(&sim.add_node(l.senders[i]));
+    for (int i = 0; i < 3; ++i) receivers.push_back(&sim.add_node(l.receivers[i]));
+    std::vector<Sim::TcpFlow> flows;
+    for (int i = 0; i < 3; ++i) flows.push_back(sim.add_tcp_flow(*senders[i], *receivers[i]));
+    sim.make_ack_spoofer(*receivers[2], 1.0,
+                         {receivers[0]->id(), receivers[1]->id()});
+    sim.run();
+    separate_gap = flows[2].goodput_mbps() -
+                   0.5 * (flows[0].goodput_mbps() + flows[1].goodput_mbps());
+  }
+  EXPECT_GT(shared_gap, 0.5) << "decisive win behind a shared AP";
+  EXPECT_GT(separate_gap, 0.5) << "decisive win with separate APs";
+  EXPECT_NEAR(separate_gap, shared_gap, 0.8 * std::max(separate_gap, shared_gap));
+}
+
+TEST(FakeAckScaling, RelativeGapSurvivesMorePairs) {
+  // Fig 19: more competitors shrink everyone's share, but the greedy
+  // receiver's RELATIVE advantage persists.
+  auto gaps = [](int n_pairs) {
+    SimConfig cfg = base_cfg(104);
+    cfg.rts_cts = false;
+    cfg.default_ber =
+        ErrorModel::ber_for_fer(0.5, ErrorModel::error_len(FrameType::kData, 1064));
+    Sim sim(cfg);
+    const auto l = pairs_in_range(n_pairs);
+    std::vector<Node*> senders, receivers;
+    for (int i = 0; i < n_pairs; ++i) senders.push_back(&sim.add_node(l.senders[i]));
+    for (int i = 0; i < n_pairs; ++i) receivers.push_back(&sim.add_node(l.receivers[i]));
+    std::vector<Sim::UdpFlow> flows;
+    for (int i = 0; i < n_pairs; ++i) {
+      flows.push_back(sim.add_udp_flow(*senders[i], *receivers[i]));
+    }
+    sim.make_fake_acker(*receivers.back(), 1.0);
+    sim.run();
+    double normal = 0.0;
+    for (int i = 0; i + 1 < n_pairs; ++i) normal += flows[i].goodput_mbps();
+    normal /= (n_pairs - 1);
+    const double greedy = flows.back().goodput_mbps();
+    return std::pair{greedy - normal, greedy / std::max(normal, 1e-6)};
+  };
+  const auto [abs2, rel2] = gaps(2);
+  const auto [abs6, rel6] = gaps(6);
+  EXPECT_LT(abs6, abs2) << "absolute gap shrinks with competition";
+  EXPECT_GT(rel6, 1.4) << "relative gap persists";
+  (void)rel2;
+}
+
+TEST(FairnessRanking, AttacksOrderByJainIndex) {
+  // The fairness index summarises attack severity: honest ~1, partial
+  // cheating in between, full starvation ~0.5 (one of two flows holds
+  // everything).
+  auto fairness = [](Time inflation, double gp) {
+    Sim sim(base_cfg(105));
+    const auto l = pairs_in_range(2);
+    Node& ns = sim.add_node(l.senders[0]);
+    Node& gs = sim.add_node(l.senders[1]);
+    Node& nr = sim.add_node(l.receivers[0]);
+    Node& gr = sim.add_node(l.receivers[1]);
+    auto fn = sim.add_udp_flow(ns, nr);
+    auto fg = sim.add_udp_flow(gs, gr);
+    if (inflation > 0) {
+      sim.make_nav_inflator(gr, NavFrameMask::cts_only(), inflation, gp);
+    }
+    sim.run();
+    return jain_fairness({fn.goodput_mbps(), fg.goodput_mbps()});
+  };
+  const double honest = fairness(0, 0);
+  const double partial = fairness(microseconds(300), 1.0);
+  const double full = fairness(milliseconds(10), 1.0);
+  EXPECT_GT(honest, 0.97);
+  EXPECT_LT(partial, honest);
+  EXPECT_GT(partial, full);
+  EXPECT_NEAR(full, 0.5, 0.02);
+}
+
+TEST(ProtocolMix, TcpFlowSurvivesNextToSaturatedUdp) {
+  // A saturated UDP flow must not starve a competing TCP flow outright —
+  // DCF still gives the TCP sender and its receiver's ACK path airtime.
+  Sim sim(base_cfg(106));
+  const auto l = pairs_in_range(2);
+  Node& s1 = sim.add_node(l.senders[0]);
+  Node& s2 = sim.add_node(l.senders[1]);
+  Node& r1 = sim.add_node(l.receivers[0]);
+  Node& r2 = sim.add_node(l.receivers[1]);
+  auto udp = sim.add_udp_flow(s1, r1);
+  auto tcp = sim.add_tcp_flow(s2, r2);
+  sim.run();
+  EXPECT_GT(tcp.goodput_mbps(), 0.4);
+  EXPECT_GT(udp.goodput_mbps(), 1.0);
+}
+
+TEST(Standards, AttackShapesHoldOn80211a) {
+  // Spot-check that a core misbehavior works identically on the OFDM PHY.
+  SimConfig cfg = base_cfg(107);
+  cfg.standard = Standard::A80211;
+  Sim sim(cfg);
+  const auto l = pairs_in_range(2);
+  Node& ns = sim.add_node(l.senders[0]);
+  Node& gs = sim.add_node(l.senders[1]);
+  Node& nr = sim.add_node(l.receivers[0]);
+  Node& gr = sim.add_node(l.receivers[1]);
+  auto fn = sim.add_udp_flow(ns, nr);
+  auto fg = sim.add_udp_flow(gs, gr);
+  sim.make_nav_inflator(gr, NavFrameMask::cts_only(), microseconds(600));
+  sim.run();
+  EXPECT_LT(fn.goodput_mbps(), 0.2);
+  EXPECT_GT(fg.goodput_mbps(), 3.5);
+}
+
+}  // namespace
+}  // namespace g80211

@@ -1,0 +1,309 @@
+// End-to-end evaluation of the Greedy Receiver Countermeasure (paper
+// Section VIII): NAV validation restores fairness under inflation, the
+// RSSI spoof detector recovers the victim's goodput, the cross-layer and
+// fake-ACK detectors fire exactly when they should.
+#include <gtest/gtest.h>
+
+#include "src/detect/cross_layer_detector.h"
+#include "src/detect/fake_ack_detector.h"
+#include "src/detect/grc.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+
+namespace g80211 {
+namespace {
+
+SimConfig base_cfg(std::uint64_t seed = 21) {
+  SimConfig cfg;
+  cfg.measure = seconds(4);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(GrcNavIntegration, ValidatorNeutralisesCtsInflation) {
+  // Fig 23 mechanics, all nodes in range: with GRC on every station, the
+  // inflated NAV is replaced by the expected value and the flows share
+  // fairly again.
+  auto run = [](bool grc_on) {
+    Sim sim(base_cfg());
+    const auto l = pairs_in_range(2);
+    Node& ns = sim.add_node(l.senders[0]);
+    Node& gs = sim.add_node(l.senders[1]);
+    Node& nr = sim.add_node(l.receivers[0]);
+    Node& gr = sim.add_node(l.receivers[1]);
+    auto fn = sim.add_udp_flow(ns, nr);
+    auto fg = sim.add_udp_flow(gs, gr);
+    sim.make_nav_inflator(gr, NavFrameMask::cts_only(), milliseconds(10));
+    Grc grc(sim.scheduler(), sim.params(), {.spoof_detection = false});
+    if (grc_on) {
+      for (Node* n : {&ns, &gs, &nr}) grc.protect(n->mac());
+    }
+    sim.run();
+    return std::tuple{fn.goodput_mbps(), fg.goodput_mbps(), grc.nav_detections()};
+  };
+  const auto [n_off, g_off, det_off] = run(false);
+  EXPECT_LT(n_off, 0.1) << "attack starves the victim without GRC";
+  EXPECT_EQ(det_off, 0);
+  const auto [n_on, g_on, det_on] = run(true);
+  EXPECT_GT(n_on, 1.0) << "GRC restores the victim's share";
+  EXPECT_NEAR(n_on, g_on, 0.35 * (n_on + g_on));
+  EXPECT_GT(det_on, 100) << "every inflated CTS is detected";
+}
+
+TEST(GrcNavIntegration, ValidatorAttributesDetectionsToTheGreedyNode) {
+  Sim sim(base_cfg());
+  const auto l = pairs_in_range(2);
+  Node& ns = sim.add_node(l.senders[0]);
+  Node& gs = sim.add_node(l.senders[1]);
+  Node& nr = sim.add_node(l.receivers[0]);
+  Node& gr = sim.add_node(l.receivers[1]);
+  auto fn = sim.add_udp_flow(ns, nr);
+  auto fg = sim.add_udp_flow(gs, gr);
+  sim.make_nav_inflator(gr, NavFrameMask::cts_only(), milliseconds(10));
+  NavValidator validator(sim.scheduler(), sim.params());
+  validator.attach(ns.mac());
+  sim.run();
+  ASSERT_GT(validator.detections(), 0);
+  for (const auto& [node, count] : validator.detections_by_node()) {
+    EXPECT_EQ(node, gr.id()) << "only the greedy receiver is flagged";
+    EXPECT_GT(count, 0);
+  }
+  (void)fn;
+  (void)fg;
+}
+
+TEST(GrcNavIntegration, NoFalsePositivesOnHonestTraffic) {
+  Sim sim(base_cfg());
+  const auto l = pairs_in_range(2);
+  Node& s1 = sim.add_node(l.senders[0]);
+  Node& s2 = sim.add_node(l.senders[1]);
+  Node& r1 = sim.add_node(l.receivers[0]);
+  Node& r2 = sim.add_node(l.receivers[1]);
+  auto f1 = sim.add_tcp_flow(s1, r1);
+  auto f2 = sim.add_udp_flow(s2, r2);
+  Grc grc(sim.scheduler(), sim.params(), {.spoof_detection = false});
+  for (Node* n : {&s1, &s2, &r1, &r2}) grc.protect(n->mac());
+  sim.run();
+  EXPECT_EQ(grc.nav_detections(), 0) << "honest Durations never flagged";
+  EXPECT_GT(f1.goodput_mbps() + f2.goodput_mbps(), 1.5)
+      << "GRC must not disturb honest traffic";
+}
+
+TEST(GrcNavIntegration, RtsDataInflationAlsoNeutralised) {
+  // The TCP variant: GR inflates RTS+DATA when sending TCP ACKs; the
+  // validator bounds RTS by the MTU exchange and DATA by SIFS+ACK.
+  auto run = [](bool grc_on) {
+    Sim sim(base_cfg());
+    const auto l = pairs_in_range(2);
+    Node& ns = sim.add_node(l.senders[0]);
+    Node& gs = sim.add_node(l.senders[1]);
+    Node& nr = sim.add_node(l.receivers[0]);
+    Node& gr = sim.add_node(l.receivers[1]);
+    auto fn = sim.add_tcp_flow(ns, nr);
+    auto fg = sim.add_tcp_flow(gs, gr);
+    NavFrameMask mask;
+    mask.rts = mask.data = true;
+    sim.make_nav_inflator(gr, mask, milliseconds(31));
+    Grc grc(sim.scheduler(), sim.params(), {.spoof_detection = false});
+    if (grc_on) {
+      for (Node* n : {&ns, &gs, &nr}) grc.protect(n->mac());
+    }
+    sim.run();
+    return std::pair{fn.goodput_mbps(), fg.goodput_mbps()};
+  };
+  const auto [n_off, g_off] = run(false);
+  const auto [n_on, g_on] = run(true);
+  EXPECT_GT(n_on, 4.0 * std::max(n_off, 0.01)) << "victim recovers";
+  (void)g_off;
+  (void)g_on;
+}
+
+TEST(GrcSpoofIntegration, RssiDetectorRestoresVictimGoodput) {
+  // Fig 24: with GRC, both flows track the no-attack goodput curves.
+  auto run = [](bool attack, bool grc_on) {
+    SimConfig cfg = base_cfg();
+    cfg.default_ber = 2e-4;
+    cfg.capture_threshold = 10.0;
+    Sim sim(cfg);
+    const auto l = pairs_in_range(2);
+    Node& ns = sim.add_node(l.senders[0]);
+    Node& gs = sim.add_node(l.senders[1]);
+    Node& nr = sim.add_node(l.receivers[0]);
+    Node& gr = sim.add_node(l.receivers[1]);
+    auto fn = sim.add_tcp_flow(ns, nr);
+    auto fg = sim.add_tcp_flow(gs, gr);
+    if (attack) sim.make_ack_spoofer(gr, 1.0, {nr.id()});
+    SpoofDetector detector(1.0);
+    if (grc_on) detector.attach(ns.mac());
+    sim.run();
+    return std::tuple{fn.goodput_mbps(), fg.goodput_mbps(),
+                      detector.true_positives(), detector.false_positives()};
+  };
+  const auto [n_base, g_base, tp0, fp0] = run(false, false);
+  const auto [n_att, g_att, tp1, fp1] = run(true, false);
+  const auto [n_grc, g_grc, tp2, fp2] = run(true, true);
+  EXPECT_LT(n_att, 0.5 * n_base) << "attack hurts without GRC";
+  EXPECT_GT(n_grc, 0.6 * n_base) << "GRC recovers the victim";
+  EXPECT_GT(tp2, 0) << "spoofed ACKs were flagged";
+  // RSSI measurement noise gives a small false-positive rate at the 1 dB
+  // threshold (paper Fig 22); each costs only a retransmission.
+  EXPECT_LT(fp2, tp2) << "false positives stay well below true detections";
+  (void)g_base;
+  (void)g_att;
+  (void)g_grc;
+  (void)tp0;
+  (void)fp0;
+  (void)tp1;
+  (void)fp1;
+}
+
+TEST(GrcSpoofIntegration, DetectorQuietOnHonestTraffic) {
+  SimConfig cfg = base_cfg();
+  cfg.default_ber = 2e-4;
+  cfg.capture_threshold = 10.0;
+  Sim sim(cfg);
+  const auto l = pairs_in_range(2);
+  Node& ns = sim.add_node(l.senders[0]);
+  Node& gs = sim.add_node(l.senders[1]);
+  Node& nr = sim.add_node(l.receivers[0]);
+  Node& gr = sim.add_node(l.receivers[1]);
+  auto fn = sim.add_tcp_flow(ns, nr);
+  auto fg = sim.add_tcp_flow(gs, gr);
+  SpoofDetector d1(1.0), d2(1.0);
+  d1.attach(ns.mac());
+  d2.attach(gs.mac());
+  sim.run();
+  // Honest traffic: no spoofs exist, so every flag is a false positive.
+  // Fig 22 predicts a small but nonzero rate at the 1 dB threshold.
+  EXPECT_EQ(d1.true_positives() + d2.true_positives(), 0);
+  EXPECT_GT(d1.true_negatives(), 100) << "plenty of honest ACKs inspected";
+  const double fp_rate =
+      static_cast<double>(d1.false_positives()) /
+      static_cast<double>(d1.false_positives() + d1.true_negatives());
+  EXPECT_LT(fp_rate, 0.06);
+  (void)fn;
+  (void)fg;
+}
+
+TEST(GrcCrossLayerIntegration, FlagsSpoofingOnMobileClients) {
+  // The RSSI profile is useless for mobile clients; the cross-layer
+  // detector correlates TCP retransmissions with MAC-acked segments.
+  auto run = [](bool attack) {
+    SimConfig cfg = base_cfg();
+    cfg.default_ber = 2e-4;
+    cfg.capture_threshold = 10.0;
+    Sim sim(cfg);
+    const auto l = pairs_in_range(2);
+    Node& ns = sim.add_node(l.senders[0]);
+    Node& gs = sim.add_node(l.senders[1]);
+    Node& nr = sim.add_node(l.receivers[0]);
+    Node& gr = sim.add_node(l.receivers[1]);
+    auto fn = sim.add_tcp_flow(ns, nr);
+    auto fg = sim.add_tcp_flow(gs, gr);
+    if (attack) sim.make_ack_spoofer(gr, 1.0, {nr.id()});
+    auto detector = std::make_unique<CrossLayerDetector>(5);
+    detector->attach(ns.mac(), *fn.sender);
+    sim.run();
+    (void)fg;
+    return std::pair{detector->detected(),
+                     detector->suspicious_retransmissions()};
+  };
+  const auto [detected_attack, count_attack] = run(true);
+  EXPECT_TRUE(detected_attack);
+  EXPECT_GT(count_attack, 5);
+  const auto [detected_honest, count_honest] = run(false);
+  EXPECT_FALSE(detected_honest);
+  EXPECT_LE(count_honest, 2) << "an honest lossy link stays below threshold";
+}
+
+TEST(GrcFakeAckIntegration, ProbingExposesFakeAcks) {
+  auto run = [](bool attack) {
+    SimConfig cfg = base_cfg();
+    cfg.rts_cts = false;
+    cfg.measure = seconds(6);
+    Sim sim(cfg);
+    const auto l = pairs_in_range(1);
+    Node& gs = sim.add_node(l.senders[0]);
+    Node& gr = sim.add_node(l.receivers[0]);
+    // A very lossy link: data FER ~0.5 toward the receiver. The offered
+    // load stays below what the lossy link can carry so queue drops do not
+    // pollute the application-loss estimate.
+    sim.channel().error_model().set_link_ber(
+        gs.id(), gr.id(),
+        ErrorModel::ber_for_fer(0.5, ErrorModel::error_len(FrameType::kData, 1064)));
+    auto f = sim.add_udp_flow(gs, gr, 1.0);
+    if (attack) sim.make_fake_acker(gr, 1.0);
+    FakeAckDetector::Config dc;
+    dc.probe_payload_bytes = 512;  // probe FER ~0.3: a clear signal
+    FakeAckDetector detector(sim.scheduler(), gs, gr.id(), sim.reserve_flow_id(), dc);
+    detector.start(0);
+    sim.run();
+    (void)f;
+    return std::tuple{detector.detected(), detector.application_loss(),
+                      detector.mac_loss()};
+  };
+  const auto [det_attack, app_loss_attack, mac_loss_attack] = run(true);
+  EXPECT_TRUE(det_attack);
+  EXPECT_GT(app_loss_attack, 0.2) << "probes die silently under fake ACKs";
+  EXPECT_LT(mac_loss_attack, 0.1) << "while the MAC sees almost no loss";
+  const auto [det_honest, app_loss_honest, mac_loss_honest] = run(false);
+  EXPECT_FALSE(det_honest);
+  EXPECT_GT(mac_loss_honest, 0.25) << "honest MAC loss is visible";
+  EXPECT_LT(app_loss_honest,
+            std::pow(mac_loss_honest, 5) + 0.06);
+}
+
+TEST(GrcBundle, MidRunDeploymentRestoresFairness) {
+  // The campus_timeline scenario as an assertion: attack at t=2s, GRC
+  // rollout at t=5s — per-phase victim goodput must collapse and recover.
+  SimConfig cfg;
+  cfg.warmup = seconds(0);
+  cfg.measure = seconds(8);
+  cfg.seed = 23;
+  Sim sim(cfg);
+  const auto l = pairs_in_range(2);
+  Node& ns = sim.add_node(l.senders[0]);
+  Node& gs = sim.add_node(l.senders[1]);
+  Node& nr = sim.add_node(l.receivers[0]);
+  Node& gr = sim.add_node(l.receivers[1]);
+  auto fn = sim.add_udp_flow(ns, nr);
+  auto fg = sim.add_udp_flow(gs, gr);
+  sim.scheduler().at(seconds(2), [&] {
+    sim.make_nav_inflator(gr, NavFrameMask::cts_only(), milliseconds(10));
+  });
+  Grc grc(sim.scheduler(), sim.params(), {.spoof_detection = false});
+  sim.scheduler().at(seconds(5), [&] {
+    for (Node* n : {&ns, &gs, &nr}) grc.protect(n->mac());
+  });
+  std::int64_t at2 = 0, at5 = 0;
+  sim.scheduler().at(seconds(2), [&] { at2 = fn.sink->packets(); });
+  sim.scheduler().at(seconds(5), [&] { at5 = fn.sink->packets(); });
+  sim.run();
+
+  const double before = static_cast<double>(at2) / 2.0;          // pkts/s
+  const double during = static_cast<double>(at5 - at2) / 3.0;
+  const double after = static_cast<double>(fn.sink->packets() - at5) / 3.0;
+  EXPECT_LT(during, 0.1 * before) << "attack phase collapses the victim";
+  EXPECT_GT(after, 0.7 * before) << "GRC rollout restores the victim";
+  EXPECT_GT(grc.nav_detections(), 100);
+  (void)fg;
+}
+
+TEST(GrcBundle, ProtectInstallsBothDetectors) {
+  Sim sim(base_cfg());
+  const auto l = pairs_in_range(1);
+  Node& s = sim.add_node(l.senders[0]);
+  Node& r = sim.add_node(l.receivers[0]);
+  auto f = sim.add_udp_flow(s, r);
+  Grc grc(sim.scheduler(), sim.params());
+  grc.protect(s.mac());
+  EXPECT_EQ(grc.nav_validators().size(), 1u);
+  EXPECT_EQ(grc.spoof_detectors().size(), 1u);
+  sim.run();
+  EXPECT_EQ(grc.nav_detections(), 0);
+  EXPECT_EQ(grc.spoof_detections(), 0);
+  EXPECT_GT(f.goodput_mbps(), 3.0) << "protection is free for honest traffic";
+}
+
+}  // namespace
+}  // namespace g80211

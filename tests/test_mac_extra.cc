@@ -1,0 +1,218 @@
+// Additional MAC coverage: feature interactions (fragmentation x
+// auto-rate, fragmentation x RTS retries, broadcast under contention),
+// EIFS clearing, hook chaining, and greedy combinations.
+#include <gtest/gtest.h>
+
+#include "src/greedy/nav_inflation.h"
+#include "src/net/node.h"
+#include "src/phy/channel.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+namespace {
+
+struct CountingSink : PacketSink {
+  std::vector<PacketPtr> packets;
+  void receive(const PacketPtr& p) override { packets.push_back(p); }
+};
+
+class MacExtraTest : public ::testing::Test {
+ protected:
+  MacExtraTest() : channel_(sched_, WifiParams::b11()) {}
+  Node& add_node(Position pos) {
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(
+        std::make_unique<Node>(sched_, channel_, id, pos, Rng(600 + id)));
+    return *nodes_.back();
+  }
+  PacketPtr packet(int flow, int dst, int bytes = 1064, std::int64_t seq = 0) {
+    auto p = std::make_shared<Packet>();
+    p->flow_id = flow;
+    p->seq = seq;
+    p->size_bytes = bytes;
+    p->dst_node = dst;
+    return p;
+  }
+  Scheduler sched_;
+  Channel channel_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST_F(MacExtraTest, FragmentsUseTheAdaptedRate) {
+  Node& tx = add_node({0, 0});
+  Node& rx = add_node({5, 0});
+  tx.mac().set_rts_cts(false);
+  tx.mac().set_fragmentation_threshold(532);
+  tx.mac().enable_auto_rate(5.5);
+  CountingSink sink;
+  rx.register_sink(1, &sink);
+
+  std::vector<double> rates;
+  rx.mac().sniffer = [&](const Frame& f, const RxInfo&) {
+    if (f.type == FrameType::kData) rates.push_back(f.rate_mbps);
+  };
+  tx.send_packet(packet(1, 1));
+  sched_.run_until(seconds(1));
+  ASSERT_EQ(sink.packets.size(), 1u);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 5.5);
+  EXPECT_DOUBLE_EQ(rates[1], 5.5);
+}
+
+TEST_F(MacExtraTest, AutoRateClimbsAcrossFragBursts) {
+  Node& tx = add_node({0, 0});
+  Node& rx = add_node({5, 0});
+  tx.mac().set_rts_cts(false);
+  tx.mac().set_fragmentation_threshold(532);
+  tx.mac().enable_auto_rate(1.0);
+  CountingSink sink;
+  rx.register_sink(1, &sink);
+  for (int i = 0; i < 30; ++i) tx.send_packet(packet(1, 1, 1064, i));
+  sched_.run_until(seconds(3));
+  EXPECT_EQ(sink.packets.size(), 30u);
+  // Every fragment ACK counts as an ARF success: 60 successes climb the
+  // whole 1 -> 11 ladder.
+  EXPECT_DOUBLE_EQ(tx.mac().data_rate_to(rx.id()), 11.0);
+}
+
+TEST_F(MacExtraTest, MidBurstRetryReissuesRts) {
+  Node& tx = add_node({0, 0});
+  Node& rx = add_node({5, 0});
+  tx.mac().set_fragmentation_threshold(532);  // RTS/CTS on
+  CountingSink sink;
+  rx.register_sink(1, &sink);
+
+  int data_seen = 0;
+  rx.mac().sniffer = [&](const Frame& f, const RxInfo&) {
+    if (f.type != FrameType::kData) return;
+    ++data_seen;
+    channel_.error_model().set_link_ber(0, 1, data_seen == 1 ? 1.0 : 0.0);
+  };
+  tx.send_packet(packet(1, 1));
+  sched_.run_until(seconds(1));
+
+  ASSERT_EQ(sink.packets.size(), 1u);
+  // Initial RTS + one more for the retried second fragment.
+  EXPECT_EQ(tx.mac().stats().rts_sent, 2);
+  EXPECT_EQ(tx.mac().stats().data_retries, 1);
+}
+
+TEST_F(MacExtraTest, BroadcastContendsAndCollidesWithoutRecovery) {
+  // Two broadcasters with synchronized queues: any collision is final
+  // (no ACK, no retry), and both complete immediately.
+  Node& a = add_node({0, 0});
+  Node& b = add_node({20, 0});
+  add_node({10, 0});
+  for (int i = 0; i < 20; ++i) {
+    a.send_packet(packet(1, kBroadcast, 500, i));
+    b.send_packet(packet(2, kBroadcast, 500, i));
+  }
+  sched_.run_until(seconds(2));
+  EXPECT_EQ(a.mac().stats().data_success, 20);
+  EXPECT_EQ(b.mac().stats().data_success, 20);
+  EXPECT_EQ(a.mac().stats().data_retries, 0);
+  EXPECT_EQ(b.mac().stats().data_retries, 0);
+}
+
+TEST_F(MacExtraTest, EifsClearedByCorrectReception) {
+  // tx hears a corrupted frame (arming EIFS) and then a clean one (which
+  // per the standard ends the EIFS condition); its next deference must be
+  // plain DIFS + backoff, not EIFS-based.
+  Node& tx = add_node({0, 0});
+  Node& rx = add_node({5, 0});
+  Node& other = add_node({10, 0});
+  tx.mac().set_rts_cts(false);
+  channel_.error_model().set_link_ber(2, 0, 1.0);  // other -> tx corrupts
+
+  auto inject = [&](Node& from, int ta) {
+    Frame f;
+    f.type = FrameType::kData;
+    f.ta = ta;
+    f.ra = 3;  // addressed elsewhere: pure overhearing at tx
+    f.packet = std::make_shared<Packet>();
+    f.packet->size_bytes = 200;
+    from.phy().transmit(f, WifiParams::b11().data_tx_time(200));
+  };
+  const Time air = WifiParams::b11().data_tx_time(200);
+  sched_.at(0, [&] { inject(other, 2); });                 // corrupted at tx
+  const Time clean_start = air + microseconds(500);
+  sched_.at(clean_start, [&] { inject(rx, 1); });          // clean at tx
+  const Time clean_end = clean_start + air;
+  sched_.at(clean_start + microseconds(10), [&] { tx.send_packet(packet(1, 1, 200)); });
+
+  std::vector<Time> tx_starts;
+  rx.mac().sniffer = [&](const Frame& f, const RxInfo& i) {
+    if (f.type == FrameType::kData && f.ta == 0) tx_starts.push_back(i.start);
+  };
+  sched_.run_until(seconds(1));
+  ASSERT_EQ(tx_starts.size(), 1u);
+  EXPECT_GT(tx.mac().stats().rx_corrupted, 0);
+  const Time gap = tx_starts[0] - clean_end;
+  EXPECT_GE(gap, WifiParams::b11().difs);
+  EXPECT_LT(gap, WifiParams::b11().eifs() + 31 * WifiParams::b11().slot)
+      << "EIFS penalty must have been cleared by the clean reception";
+}
+
+TEST_F(MacExtraTest, SnifferChainSeesEveryFrameOnce) {
+  Node& tx = add_node({0, 0});
+  Node& rx = add_node({5, 0});
+  CountingSink sink;
+  rx.register_sink(1, &sink);
+  int first = 0, second = 0;
+  rx.mac().sniffer = [&](const Frame&, const RxInfo&) { ++first; };
+  auto prev = std::move(rx.mac().sniffer);
+  rx.mac().sniffer = [&, prev = std::move(prev)](const Frame& f, const RxInfo& i) {
+    prev(f, i);
+    ++second;
+  };
+  tx.send_packet(packet(1, 1));
+  sched_.run_until(seconds(1));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, 2) << "RTS + DATA (own CTS/ACK are not sniffed)";
+}
+
+TEST_F(MacExtraTest, GreedyPolicyAppliesToFragmentAcks) {
+  // A greedy receiver inflating ACK NAVs keeps doing so inside fragment
+  // bursts — every fragment ACK carries the inflation.
+  Node& tx = add_node({0, 0});
+  Node& rx = add_node({5, 0});
+  Node& observer = add_node({5, 5});
+  tx.mac().set_rts_cts(false);
+  tx.mac().set_fragmentation_threshold(532);
+  NavInflationPolicy policy(NavFrameMask::ack_only(), milliseconds(3));
+  rx.mac().set_greedy_policy(&policy);
+
+  std::vector<Time> ack_durs;
+  observer.mac().sniffer = [&](const Frame& f, const RxInfo&) {
+    if (f.type == FrameType::kAck) ack_durs.push_back(f.duration);
+  };
+  tx.send_packet(packet(1, 1));
+  sched_.run_until(seconds(1));
+  ASSERT_EQ(ack_durs.size(), 2u);
+  for (const Time d : ack_durs) EXPECT_GE(d, milliseconds(3));
+  EXPECT_EQ(policy.inflations_applied(), 2);
+}
+
+TEST_F(MacExtraTest, QueueServesManyDestinationsInOrder) {
+  Node& tx = add_node({0, 0});
+  Node& r1 = add_node({5, 0});
+  Node& r2 = add_node({0, 5});
+  tx.mac().set_rts_cts(false);
+  CountingSink s1, s2;
+  r1.register_sink(1, &s1);
+  r2.register_sink(2, &s2);
+  for (int i = 0; i < 10; ++i) {
+    tx.send_packet(packet(1, 1, 500, i));
+    tx.send_packet(packet(2, 2, 500, i));
+  }
+  sched_.run_until(seconds(2));
+  ASSERT_EQ(s1.packets.size(), 10u);
+  ASSERT_EQ(s2.packets.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(s1.packets[static_cast<std::size_t>(i)]->seq, i);
+    EXPECT_EQ(s2.packets[static_cast<std::size_t>(i)]->seq, i);
+  }
+}
+
+}  // namespace
+}  // namespace g80211

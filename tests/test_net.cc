@@ -1,0 +1,158 @@
+// Network layer: drop-tail queue, node demux/routing/echo, wired links.
+#include <gtest/gtest.h>
+
+#include "src/net/node.h"
+#include "src/net/queue.h"
+#include "src/net/wired_link.h"
+#include "src/phy/channel.h"
+
+namespace g80211 {
+namespace {
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q(10);
+  for (int i = 0; i < 3; ++i) {
+    auto p = std::make_shared<Packet>();
+    p->seq = i;
+    EXPECT_TRUE(q.push(p, i + 100));
+  }
+  EXPECT_EQ(q.size(), 3u);
+  auto [p0, d0] = q.pop();
+  EXPECT_EQ(p0->seq, 0);
+  EXPECT_EQ(d0, 100);
+  auto [p1, d1] = q.pop();
+  EXPECT_EQ(p1->seq, 1);
+  EXPECT_EQ(d1, 101);
+}
+
+TEST(DropTailQueue, DropsAtLimit) {
+  DropTailQueue q(2);
+  EXPECT_TRUE(q.push(std::make_shared<Packet>(), 0));
+  EXPECT_TRUE(q.push(std::make_shared<Packet>(), 0));
+  EXPECT_FALSE(q.push(std::make_shared<Packet>(), 0));
+  EXPECT_EQ(q.drops(), 1);
+  q.pop();
+  EXPECT_TRUE(q.push(std::make_shared<Packet>(), 0)) << "space freed";
+}
+
+struct CollectSink : PacketSink {
+  std::vector<PacketPtr> got;
+  void receive(const PacketPtr& p) override { got.push_back(p); }
+};
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest() : channel_(sched_, WifiParams::b11()) {}
+  Node& add_node(Position pos) {
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(
+        std::make_unique<Node>(sched_, channel_, id, pos, Rng(50 + id)));
+    return *nodes_.back();
+  }
+  Scheduler sched_;
+  Channel channel_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST_F(NetTest, FlowDemuxReachesRegisteredSink) {
+  Node& a = add_node({0, 0});
+  Node& b = add_node({5, 0});
+  CollectSink sink1, sink2;
+  b.register_sink(1, &sink1);
+  b.register_sink(2, &sink2);
+
+  auto p = std::make_shared<Packet>();
+  p->flow_id = 2;
+  p->dst_node = b.id();
+  p->src_node = a.id();
+  p->size_bytes = 500;
+  a.send_packet(p);
+  sched_.run_until(seconds(1));
+  EXPECT_TRUE(sink1.got.empty());
+  ASSERT_EQ(sink2.got.size(), 1u);
+}
+
+TEST_F(NetTest, RouteOverridesMacNextHop) {
+  Node& a = add_node({0, 0});
+  Node& relay = add_node({5, 0});
+  add_node({10, 0});
+  a.set_route(/*dst_node=*/2, /*next_hop_mac=*/relay.id());
+
+  auto p = std::make_shared<Packet>();
+  p->flow_id = 1;
+  p->dst_node = 2;
+  p->src_node = 0;
+  p->size_bytes = 500;
+  a.send_packet(p);
+  sched_.run_until(seconds(1));
+  // The relay's MAC accepted the frame (addressed to it), found no
+  // forwarder, and dropped it at the network layer.
+  EXPECT_EQ(relay.mac().stats().rx_data_ok, 1);
+}
+
+TEST_F(NetTest, ProbeEchoOnlyForCleanDelivery) {
+  Node& a = add_node({0, 0});
+  Node& b = add_node({5, 0});
+  CollectSink probe_sink;
+  a.register_sink(9, &probe_sink);
+
+  auto probe = std::make_shared<Packet>();
+  probe->flow_id = 9;
+  probe->is_probe = true;
+  probe->src_node = 0;
+  probe->dst_node = 1;
+  probe->size_bytes = 104;
+  a.send_packet(probe);
+  sched_.run_until(seconds(1));
+  ASSERT_EQ(probe_sink.got.size(), 1u);
+  EXPECT_TRUE(probe_sink.got[0]->probe_reply);
+  EXPECT_EQ(b.probes_echoed(), 1);
+}
+
+TEST_F(NetTest, WiredHostRoundTrip) {
+  Node& ap = add_node({0, 0});
+  Node& client = add_node({5, 0});
+  WiredLink link(sched_, milliseconds(10));
+  WiredHost host(99, link, ap);
+  client.set_route(99, ap.id());
+
+  // Host -> client.
+  CollectSink client_sink;
+  client.register_sink(4, &client_sink);
+  auto down = std::make_shared<Packet>();
+  down->flow_id = 4;
+  down->src_node = 99;
+  down->dst_node = client.id();
+  down->size_bytes = 1064;
+  Time sent_at = 0;
+  host.send_packet(down);
+  sched_.run_until(seconds(1));
+  ASSERT_EQ(client_sink.got.size(), 1u);
+
+  // Client -> host (via the AP forwarder installed by WiredHost).
+  CollectSink host_sink;
+  host.register_sink(4, &host_sink);
+  auto up = std::make_shared<Packet>();
+  up->flow_id = 4;
+  up->src_node = client.id();
+  up->dst_node = 99;
+  up->size_bytes = 40;
+  client.send_packet(up);
+  sched_.run_until(seconds(2));
+  ASSERT_EQ(host_sink.got.size(), 1u);
+  (void)sent_at;
+}
+
+TEST_F(NetTest, WiredLatencyDelaysDelivery) {
+  Node& ap = add_node({0, 0});
+  WiredLink link(sched_, milliseconds(25));
+  Time delivered_at = -1;
+  auto p = std::make_shared<Packet>();
+  link.transfer(p, [&](PacketPtr) { delivered_at = sched_.now(); });
+  sched_.run();
+  EXPECT_EQ(delivered_at, milliseconds(25));
+  (void)ap;
+}
+
+}  // namespace
+}  // namespace g80211

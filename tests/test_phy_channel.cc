@@ -1,0 +1,276 @@
+// Channel + PHY: carrier-sense edges, reception, capture, collisions,
+// range semantics, half-duplex behaviour, BER corruption delivery.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/phy/channel.h"
+#include "src/phy/phy.h"
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+namespace {
+
+struct RecordingListener : PhyListener {
+  struct Rx {
+    Frame frame;
+    RxInfo info;
+  };
+  std::vector<Rx> received;
+  int busy_edges = 0;
+  int idle_edges = 0;
+  int tx_ends = 0;
+
+  void on_rx_end(const Frame& f, const RxInfo& i) override {
+    received.push_back({f, i});
+  }
+  void on_channel_busy() override { ++busy_edges; }
+  void on_channel_idle() override { ++idle_edges; }
+  void on_tx_end() override { ++tx_ends; }
+};
+
+class PhyChannelTest : public ::testing::Test {
+ protected:
+  PhyChannelTest() : channel_(sched_, WifiParams::b11()) {}
+
+  Phy& add_phy(int id, Position pos) {
+    phys_.push_back(std::make_unique<Phy>(channel_, id, pos, Rng(100 + id)));
+    listeners_.push_back(std::make_unique<RecordingListener>());
+    phys_.back()->set_listener(listeners_.back().get());
+    // Disable RSSI measurement noise for exact assertions.
+    phys_.back()->rssi_noise_db = 0.0;
+    phys_.back()->rssi_outlier_prob = 0.0;
+    return *phys_.back();
+  }
+  RecordingListener& listener(std::size_t i) { return *listeners_[i]; }
+
+  Frame data_frame(int ta, int ra) {
+    Frame f;
+    f.type = FrameType::kData;
+    f.ta = ta;
+    f.ra = ra;
+    f.packet = std::make_shared<Packet>();
+    f.packet->size_bytes = 1064;
+    return f;
+  }
+
+  Scheduler sched_;
+  Channel channel_;
+  std::vector<std::unique_ptr<Phy>> phys_;
+  std::vector<std::unique_ptr<RecordingListener>> listeners_;
+};
+
+TEST_F(PhyChannelTest, CleanReceptionDeliversUncorrupted) {
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {5, 0});
+  tx.transmit(data_frame(0, 1), microseconds(500));
+  sched_.run();
+  auto& l = listener(1);
+  ASSERT_EQ(l.received.size(), 1u);
+  EXPECT_FALSE(l.received[0].info.corrupted);
+  EXPECT_EQ(l.received[0].frame.ta, 0);
+  EXPECT_EQ(l.received[0].frame.true_tx, 0);
+  EXPECT_EQ(l.received[0].info.end - l.received[0].info.start, microseconds(500));
+}
+
+TEST_F(PhyChannelTest, BusyIdleEdgesFireOnceEach) {
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {5, 0});
+  tx.transmit(data_frame(0, 1), microseconds(500));
+  sched_.run();
+  EXPECT_EQ(listener(1).busy_edges, 1);
+  EXPECT_EQ(listener(1).idle_edges, 1);
+  // The transmitter sees its own busy period and tx_end.
+  EXPECT_EQ(listener(0).busy_edges, 1);
+  EXPECT_EQ(listener(0).idle_edges, 1);
+  EXPECT_EQ(listener(0).tx_ends, 1);
+}
+
+TEST_F(PhyChannelTest, PromiscuousDeliveryRegardlessOfAddressing) {
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {5, 0});
+  add_phy(2, {6, 0});
+  tx.transmit(data_frame(0, 1), microseconds(500));
+  sched_.run();
+  EXPECT_EQ(listener(1).received.size(), 1u);
+  EXPECT_EQ(listener(2).received.size(), 1u);  // sniffed someone else's frame
+}
+
+TEST_F(PhyChannelTest, OutOfCommRangeNotDelivered) {
+  channel_.set_ranges(50.0, 100.0);
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {70, 0});   // CS range only
+  add_phy(2, {150, 0});  // out of everything
+  tx.transmit(data_frame(0, 1), microseconds(500));
+  sched_.run();
+  EXPECT_TRUE(listener(1).received.empty());
+  EXPECT_EQ(listener(1).busy_edges, 1);  // still senses the energy
+  EXPECT_TRUE(listener(2).received.empty());
+  EXPECT_EQ(listener(2).busy_edges, 0);
+}
+
+TEST_F(PhyChannelTest, CsRangeDefaultsToCommRange) {
+  channel_.set_ranges(50.0, 0.0);
+  EXPECT_DOUBLE_EQ(channel_.cs_range_m(), 50.0);
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {60, 0});
+  tx.transmit(data_frame(0, 1), microseconds(500));
+  sched_.run();
+  EXPECT_EQ(listener(1).busy_edges, 0);
+}
+
+TEST_F(PhyChannelTest, OverlappingComparablePowersCollide) {
+  // Two transmitters equidistant from the receiver: power ratio 1 << 10.
+  Phy& a = add_phy(0, {0, 0});
+  Phy& b = add_phy(1, {20, 0});
+  add_phy(2, {10, 0});
+  a.transmit(data_frame(0, 2), microseconds(500));
+  sched_.at(microseconds(100), [&] {
+    b.transmit(data_frame(1, 2), microseconds(500));
+  });
+  sched_.run();
+  auto& l = listener(2);
+  ASSERT_EQ(l.received.size(), 1u);  // only the first is tracked as current
+  EXPECT_TRUE(l.received[0].info.corrupted);
+  EXPECT_TRUE(l.received[0].info.collided);
+}
+
+TEST_F(PhyChannelTest, StrongFirstFrameSurvivesWeakInterferer) {
+  Phy& strong = add_phy(0, {9, 0});   // 1 m from receiver
+  Phy& weak = add_phy(1, {60, 0});    // 50 m away: Friis ratio 2500 >> 10
+  add_phy(2, {10, 0});
+  strong.transmit(data_frame(0, 2), microseconds(500));
+  sched_.at(microseconds(100), [&] {
+    weak.transmit(data_frame(1, 2), microseconds(500));
+  });
+  sched_.run();
+  auto& l = listener(2);
+  ASSERT_EQ(l.received.size(), 1u);
+  EXPECT_FALSE(l.received[0].info.corrupted) << "capture should save the frame";
+  EXPECT_EQ(l.received[0].frame.true_tx, 0);
+}
+
+TEST_F(PhyChannelTest, StrongLateFrameCapturesReceiver) {
+  Phy& weak = add_phy(0, {60, 0});
+  Phy& strong = add_phy(1, {9, 0});
+  add_phy(2, {10, 0});
+  weak.transmit(data_frame(0, 2), microseconds(500));
+  sched_.at(microseconds(100), [&] {
+    strong.transmit(data_frame(1, 2), microseconds(300));
+  });
+  sched_.run();
+  auto& l = listener(2);
+  ASSERT_EQ(l.received.size(), 1u);
+  EXPECT_EQ(l.received[0].frame.true_tx, 1) << "stronger frame captures";
+  EXPECT_FALSE(l.received[0].info.corrupted);
+}
+
+TEST_F(PhyChannelTest, CaptureDisabledMakesEveryOverlapCollide) {
+  channel_.capture_threshold = 0.0;  // ablation knob
+  Phy& strong = add_phy(0, {9, 0});
+  Phy& weak = add_phy(1, {60, 0});
+  add_phy(2, {10, 0});
+  strong.transmit(data_frame(0, 2), microseconds(500));
+  sched_.at(microseconds(100), [&] {
+    weak.transmit(data_frame(1, 2), microseconds(300));
+  });
+  sched_.run();
+  auto& l = listener(2);
+  ASSERT_EQ(l.received.size(), 1u);
+  EXPECT_TRUE(l.received[0].info.corrupted);
+}
+
+TEST_F(PhyChannelTest, SimultaneousAcksResolveByCapture) {
+  // The spoofed-ACK situation: two ACKs start at the same instant; the
+  // closer transmitter wins at the receiver.
+  Phy& near = add_phy(0, {2, 0});
+  Phy& far = add_phy(1, {30, 0});
+  add_phy(2, {0, 0});
+  Frame ack;
+  ack.type = FrameType::kAck;
+  ack.ra = 2;
+  const Time t = microseconds(50);
+  sched_.at(t, [&] { near.transmit(ack, microseconds(304)); });
+  sched_.at(t, [&] { far.transmit(ack, microseconds(304)); });
+  sched_.run();
+  auto& l = listener(2);
+  ASSERT_EQ(l.received.size(), 1u);
+  EXPECT_EQ(l.received[0].frame.true_tx, 0);
+  EXPECT_FALSE(l.received[0].info.corrupted);
+}
+
+TEST_F(PhyChannelTest, TransmitterMissesFramesWhileTransmitting) {
+  Phy& a = add_phy(0, {0, 0});
+  Phy& b = add_phy(1, {10, 0});
+  a.transmit(data_frame(0, 1), microseconds(500));
+  sched_.at(microseconds(10), [&] {
+    b.transmit(data_frame(1, 0), microseconds(100));
+  });
+  sched_.run();
+  EXPECT_TRUE(listener(0).received.empty()) << "half duplex: tx cannot rx";
+}
+
+TEST_F(PhyChannelTest, TransmitAbortsInProgressReception) {
+  Phy& a = add_phy(0, {0, 0});
+  Phy& b = add_phy(1, {10, 0});
+  a.transmit(data_frame(0, 1), microseconds(500));
+  sched_.at(microseconds(50), [&] {
+    b.transmit(data_frame(1, 0), microseconds(100));
+  });
+  sched_.run();
+  EXPECT_TRUE(listener(1).received.empty()) << "own tx stomped the rx";
+}
+
+TEST_F(PhyChannelTest, BerCorruptionIsDeliveredAsCorrupted) {
+  channel_.error_model().set_default_ber(1.0);  // every frame corrupts
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {5, 0});
+  tx.transmit(data_frame(0, 1), microseconds(500));
+  sched_.run();
+  auto& l = listener(1);
+  ASSERT_EQ(l.received.size(), 1u);
+  EXPECT_TRUE(l.received[0].info.corrupted);
+  EXPECT_FALSE(l.received[0].info.collided);
+}
+
+TEST_F(PhyChannelTest, PerLinkBerOnlyAffectsThatLink) {
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {5, 0});
+  add_phy(2, {6, 0});
+  channel_.error_model().set_link_ber(0, 1, 1.0);
+  tx.transmit(data_frame(0, 1), microseconds(500));
+  sched_.run();
+  EXPECT_TRUE(listener(1).received[0].info.corrupted);
+  EXPECT_FALSE(listener(2).received[0].info.corrupted);
+}
+
+TEST_F(PhyChannelTest, RssiReflectsDistanceOrdering) {
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {5, 0});
+  add_phy(2, {50, 0});
+  tx.transmit(data_frame(0, 1), microseconds(500));
+  sched_.run();
+  ASSERT_EQ(listener(1).received.size(), 1u);
+  ASSERT_EQ(listener(2).received.size(), 1u);
+  EXPECT_GT(listener(1).received[0].info.rssi_dbm,
+            listener(2).received[0].info.rssi_dbm);
+  // Noise-free RSSI equals the true received power in dBm.
+  EXPECT_NEAR(listener(1).received[0].info.rssi_dbm,
+              watts_to_dbm(listener(1).received[0].info.rss_w), 1e-9);
+}
+
+TEST_F(PhyChannelTest, BackToBackTransmissionsBothDelivered) {
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {5, 0});
+  tx.transmit(data_frame(0, 1), microseconds(200));
+  sched_.at(microseconds(300), [&] {
+    tx.transmit(data_frame(0, 1), microseconds(200));
+  });
+  sched_.run();
+  EXPECT_EQ(listener(1).received.size(), 2u);
+  EXPECT_EQ(listener(1).busy_edges, 2);
+  EXPECT_EQ(listener(1).idle_edges, 2);
+}
+
+}  // namespace
+}  // namespace g80211

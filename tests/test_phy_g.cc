@@ -1,0 +1,99 @@
+// 802.11g ERP-OFDM and the 802.11b short-preamble option: timing,
+// throughput ordering across the three PHYs, and an attack spot-check
+// on g.
+#include <gtest/gtest.h>
+
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+
+namespace g80211 {
+namespace {
+
+TEST(WifiParams80211g, TimingConstants) {
+  const WifiParams p = WifiParams::g54();
+  EXPECT_EQ(p.slot, microseconds(20));  // long slot: b coexistence
+  EXPECT_EQ(p.sifs, microseconds(10));
+  EXPECT_EQ(p.difs, microseconds(50));
+  EXPECT_EQ(p.plcp, microseconds(20));
+  EXPECT_DOUBLE_EQ(p.data_rate_mbps, 54.0);
+  EXPECT_EQ(p.cw_min, 15);
+}
+
+TEST(WifiParams80211g, OfdmSymbolQuantisation) {
+  const WifiParams p = WifiParams::g54();
+  // 54 Mbps: N_DBPS = 216. 1092 B data frame: 16+8736+6 = 8758 bits ->
+  // 41 symbols = 164 us + 20 us preamble.
+  EXPECT_EQ(p.data_tx_time(1064), microseconds(184));
+  // Control frames at 6 Mbps as on 802.11a.
+  EXPECT_EQ(p.ack_tx_time(), microseconds(44));
+}
+
+TEST(WifiParams80211b, ShortPreambleSavesPlcpTime) {
+  const WifiParams lp = WifiParams::b11();
+  const WifiParams sp = WifiParams::b11_short_preamble();
+  EXPECT_EQ(lp.plcp - sp.plcp, microseconds(96));
+  EXPECT_EQ(lp.data_tx_time(1064) - sp.data_tx_time(1064), microseconds(96));
+  EXPECT_EQ(sp.slot, lp.slot) << "only the PLCP changes";
+}
+
+TEST(Standards, SaturationThroughputOrdering) {
+  auto single_flow = [](Standard std_) {
+    SimConfig cfg;
+    cfg.standard = std_;
+    cfg.measure = seconds(3);
+    cfg.seed = 131;
+    Sim sim(cfg);
+    const PairLayout l = pairs_in_range(1);
+    Node& s = sim.add_node(l.senders[0]);
+    Node& r = sim.add_node(l.receivers[0]);
+    auto f = sim.add_udp_flow(s, r, 40.0);
+    sim.run();
+    return f.goodput_mbps();
+  };
+  const double b = single_flow(Standard::B80211);
+  const double a = single_flow(Standard::A80211);
+  const double g = single_flow(Standard::G80211);
+  EXPECT_GT(a, b) << "6 Mbps OFDM beats 11 Mbps DSSS (control overhead)";
+  EXPECT_GT(g, 2.0 * a) << "54 Mbps data rate dominates";
+  EXPECT_LT(g, 30.0) << "long-slot overhead caps g far below 54";
+}
+
+TEST(Standards, NavInflationStarvesOn80211gToo) {
+  SimConfig cfg;
+  cfg.standard = Standard::G80211;
+  cfg.measure = seconds(3);
+  cfg.seed = 132;
+  Sim sim(cfg);
+  const PairLayout l = pairs_in_range(2);
+  Node& ns = sim.add_node(l.senders[0]);
+  Node& gs = sim.add_node(l.senders[1]);
+  Node& nr = sim.add_node(l.receivers[0]);
+  Node& gr = sim.add_node(l.receivers[1]);
+  auto fn = sim.add_udp_flow(ns, nr, 40.0);
+  auto fg = sim.add_udp_flow(gs, gr, 40.0);
+  // g's starvation threshold: CWmin(15) * 20 us = 300 us.
+  sim.make_nav_inflator(gr, NavFrameMask::cts_only(), microseconds(320));
+  sim.run();
+  EXPECT_LT(fn.goodput_mbps(), 0.3);
+  EXPECT_GT(fg.goodput_mbps(), 5.0);
+}
+
+TEST(Standards, AutoRateLadderOn80211g) {
+  SimConfig cfg;
+  cfg.standard = Standard::G80211;
+  cfg.measure = seconds(3);
+  cfg.seed = 133;
+  Sim sim(cfg);
+  const PairLayout l = pairs_in_range(1);
+  Node& s = sim.add_node(l.senders[0]);
+  Node& r = sim.add_node(l.receivers[0]);
+  auto f = sim.add_udp_flow(s, r, 40.0);
+  s.mac().enable_auto_rate(6.0);
+  sim.channel().error_model().set_link_rate_limit(s.id(), r.id(), 24.0);
+  sim.run();
+  EXPECT_DOUBLE_EQ(s.mac().data_rate_to(r.id()), 24.0);
+  EXPECT_GT(f.goodput_mbps(), 5.0);
+}
+
+}  // namespace
+}  // namespace g80211

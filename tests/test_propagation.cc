@@ -1,0 +1,83 @@
+// Propagation model: Friis/two-ray regimes, monotonicity, and the distance
+// ratios the capture-sensitive scenarios rely on.
+#include <gtest/gtest.h>
+
+#include "src/phy/propagation.h"
+
+namespace g80211 {
+namespace {
+
+TEST(Propagation, DistanceMath) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance({-2, 0}, {2, 0}), 4.0);
+}
+
+TEST(Propagation, PowerDecreasesWithDistance) {
+  Propagation p;
+  double prev = 1e9;
+  for (double d : {1.0, 5.0, 20.0, 80.0, 90.0, 150.0, 400.0}) {
+    const double rx = p.rx_power_w(d);
+    EXPECT_LT(rx, prev) << "at distance " << d;
+    EXPECT_GT(rx, 0.0);
+    prev = rx;
+  }
+}
+
+TEST(Propagation, FriisRegimeIsInverseSquare) {
+  Propagation p;
+  // Well below the crossover (~86 m with ns-2 defaults).
+  const double r1 = p.rx_power_w(10.0);
+  const double r2 = p.rx_power_w(20.0);
+  EXPECT_NEAR(r1 / r2, 4.0, 1e-9);
+}
+
+TEST(Propagation, TwoRayRegimeIsInverseFourth) {
+  Propagation p;
+  const double r1 = p.rx_power_w(100.0);
+  const double r2 = p.rx_power_w(200.0);
+  EXPECT_NEAR(r1 / r2, 16.0, 1e-9);
+}
+
+TEST(Propagation, CrossoverIsContinuousEnough) {
+  Propagation p;
+  const double c = p.crossover_m();
+  EXPECT_GT(c, 50.0);
+  EXPECT_LT(c, 150.0);
+  const double below = p.rx_power_w(c * 0.999);
+  const double above = p.rx_power_w(c * 1.001);
+  EXPECT_NEAR(below / above, 1.0, 0.02);
+}
+
+TEST(Propagation, CaptureSafeDistanceRatio) {
+  // The pairs_in_range topology relies on: a peer at 2 m beats a foreign
+  // station at >= 9 m by more than the 10x capture threshold (Friis: power
+  // ratio = (9/2)^2 = 20.25).
+  Propagation p;
+  EXPECT_GT(p.rx_power_w(2.0) / p.rx_power_w(9.0), 10.0);
+}
+
+TEST(Propagation, HiddenTerminalDistancesDoNotCapture) {
+  // hidden_pairs(): 95 m vs 105 m at a receiver — two-ray power ratio
+  // (105/95)^4 ~ 1.5, far below 10x, so overlaps collide.
+  Propagation p;
+  const double ratio = p.rx_power_w(95.0) / p.rx_power_w(105.0);
+  EXPECT_LT(ratio, 10.0);
+  EXPECT_GT(ratio, 1.0);
+}
+
+TEST(Propagation, TinyDistanceIsClamped) {
+  Propagation p;
+  EXPECT_EQ(p.rx_power_w(0.0), p.rx_power_w(0.05));
+}
+
+TEST(Propagation, DbConversionsRoundTrip) {
+  EXPECT_NEAR(watts_to_dbm(0.001), 0.0, 1e-12);  // 1 mW = 0 dBm
+  EXPECT_NEAR(watts_to_dbm(1.0), 30.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(watts_to_dbm(0.02)), 0.02, 1e-12);
+  EXPECT_NEAR(ratio_to_db(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(ratio_to_db(100.0), 20.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace g80211

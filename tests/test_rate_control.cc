@@ -1,0 +1,299 @@
+// ARF rate adaptation: controller unit behaviour, convergence to the
+// channel's rate cliff, and the paper's future-work conjectures about how
+// auto-rate interacts with fake and spoofed ACKs.
+#include <gtest/gtest.h>
+
+#include "src/mac/rate_control.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+
+namespace g80211 {
+namespace {
+
+// --- Controller unit behaviour ----------------------------------------------
+
+TEST(ArfController, StartsAtRequestedRung) {
+  ArfRateController c({1.0, 2.0, 5.5, 11.0}, 2);
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 5.5);
+}
+
+TEST(ArfController, StartIndexIsClamped) {
+  ArfRateController lo({1.0, 2.0}, -5);
+  EXPECT_DOUBLE_EQ(lo.rate_mbps(), 1.0);
+  ArfRateController hi({1.0, 2.0}, 99);
+  EXPECT_DOUBLE_EQ(hi.rate_mbps(), 2.0);
+}
+
+TEST(ArfController, TenSuccessesStepUp) {
+  ArfRateController c({1.0, 2.0, 5.5, 11.0}, 0);
+  for (int i = 0; i < 9; ++i) c.on_success();
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 1.0);
+  c.on_success();
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 2.0);
+  EXPECT_EQ(c.ups(), 1);
+}
+
+TEST(ArfController, TwoFailuresStepDown) {
+  ArfRateController c({1.0, 2.0, 5.5, 11.0}, 2);
+  c.on_failure();
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 5.5) << "one failure tolerated";
+  c.on_failure();
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 2.0);
+  EXPECT_EQ(c.downs(), 1);
+}
+
+TEST(ArfController, SuccessClearsFailureStreak) {
+  ArfRateController c({1.0, 2.0, 5.5}, 2);
+  c.on_failure();
+  c.on_success();
+  c.on_failure();
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 5.5) << "streak was interrupted";
+}
+
+TEST(ArfController, FailedProbeFallsStraightBack) {
+  ArfRateController c({1.0, 2.0, 5.5, 11.0}, 0);
+  for (int i = 0; i < 10; ++i) c.on_success();  // step up to 2.0, probing
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 2.0);
+  c.on_failure();  // first frame at the new rate fails
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 1.0) << "probe failure: immediate fallback";
+}
+
+TEST(ArfController, SaturatesAtLadderEnds) {
+  ArfRateController c({1.0, 2.0}, 1);
+  for (int i = 0; i < 30; ++i) c.on_success();
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 2.0);
+  for (int i = 0; i < 30; ++i) c.on_failure();
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 1.0);
+}
+
+TEST(ArfController, OscillatesByProbingAtTheCliff) {
+  // Channel supports 2.0 but not 5.5: ARF converges to 2.0 with occasional
+  // probes up (each immediately knocked back down).
+  ArfRateController c({1.0, 2.0, 5.5, 11.0}, 0);
+  for (int round = 0; round < 100; ++round) {
+    if (c.rate_mbps() <= 2.0) {
+      c.on_success();
+    } else {
+      c.on_failure();
+    }
+  }
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 2.0);
+  EXPECT_GT(c.ups(), 2);
+  EXPECT_EQ(c.ups() - 1, c.downs());  // every probe got knocked back
+}
+
+// --- AARF -------------------------------------------------------------------
+
+TEST(AarfController, FailedProbesDoublePatience) {
+  ArfRateController c({1.0, 2.0, 5.5, 11.0}, 0, 10, 2, /*adaptive=*/true);
+  EXPECT_EQ(c.current_up_threshold(), 10);
+  for (int i = 0; i < 10; ++i) c.on_success();  // probe up to 2.0
+  c.on_failure();                               // probe fails
+  EXPECT_DOUBLE_EQ(c.rate_mbps(), 1.0);
+  EXPECT_EQ(c.current_up_threshold(), 20);
+  for (int i = 0; i < 20; ++i) c.on_success();
+  c.on_failure();
+  EXPECT_EQ(c.current_up_threshold(), 40);
+  // Capped at 50.
+  for (int i = 0; i < 40; ++i) c.on_success();
+  c.on_failure();
+  EXPECT_EQ(c.current_up_threshold(), 50);
+}
+
+TEST(AarfController, GenuineFailureResetsPatience) {
+  ArfRateController c({1.0, 2.0, 5.5}, 1, 10, 2, true);
+  for (int i = 0; i < 10; ++i) c.on_success();  // probe to 5.5
+  c.on_failure();                               // probe fails -> patience 20
+  EXPECT_EQ(c.current_up_threshold(), 20);
+  // Two consecutive non-probe failures: a real channel drop.
+  c.on_failure();
+  c.on_failure();
+  EXPECT_EQ(c.current_up_threshold(), 10) << "reset on a genuine downshift";
+}
+
+TEST(AarfController, ProbesLessOftenAtACliff) {
+  auto probes_in = [](bool adaptive) {
+    ArfRateController c({1.0, 2.0, 5.5, 11.0}, 0, 10, 2, adaptive);
+    for (int round = 0; round < 600; ++round) {
+      if (c.rate_mbps() <= 2.0) {
+        c.on_success();
+      } else {
+        c.on_failure();
+      }
+    }
+    return c.ups();
+  };
+  EXPECT_LT(probes_in(true), probes_in(false) / 2)
+      << "AARF wastes far fewer frames probing a hard cliff";
+}
+
+TEST(AarfController, EquallyBlindToFakeAcks) {
+  // The security point: fake ACKs make every probe "succeed", so AARF's
+  // backoff logic never engages and it climbs the ladder exactly like ARF.
+  for (const bool adaptive : {false, true}) {
+    ArfRateController c({1.0, 2.0, 5.5, 11.0}, 0, 10, 2, adaptive);
+    for (int i = 0; i < 40; ++i) c.on_success();  // all fake
+    EXPECT_DOUBLE_EQ(c.rate_mbps(), 11.0) << "adaptive=" << adaptive;
+  }
+}
+
+TEST(AarfMac, EnableAutoRateAdaptiveFlagPropagates) {
+  SimConfig cfg;
+  cfg.measure = seconds(2);
+  cfg.seed = 141;
+  cfg.rts_cts = false;
+  Sim sim(cfg);
+  const auto l = pairs_in_range(1);
+  Node& s = sim.add_node(l.senders[0]);
+  Node& r = sim.add_node(l.receivers[0]);
+  auto f = sim.add_udp_flow(s, r);
+  s.mac().enable_auto_rate(1.0, /*adaptive=*/true);
+  sim.channel().error_model().set_link_rate_limit(s.id(), r.id(), 5.5);
+  sim.run();
+  const auto* ctrl = s.mac().rate_controller(r.id());
+  ASSERT_NE(ctrl, nullptr);
+  EXPECT_DOUBLE_EQ(s.mac().data_rate_to(r.id()), 5.5);
+  EXPECT_GT(ctrl->current_up_threshold(), 10) << "probe failures backed off";
+  EXPECT_GT(f.goodput_mbps(), 2.0);
+}
+
+// --- MAC integration ---------------------------------------------------------
+
+TEST(AutoRateMac, FixedRateByDefault) {
+  SimConfig cfg;
+  cfg.measure = seconds(1);
+  Sim sim(cfg);
+  const auto l = pairs_in_range(1);
+  Node& s = sim.add_node(l.senders[0]);
+  Node& r = sim.add_node(l.receivers[0]);
+  auto f = sim.add_udp_flow(s, r);
+  sim.run();
+  EXPECT_FALSE(s.mac().auto_rate());
+  EXPECT_DOUBLE_EQ(s.mac().data_rate_to(r.id()), 11.0);
+  EXPECT_EQ(s.mac().rate_controller(r.id()), nullptr);
+  (void)f;
+}
+
+TEST(AutoRateMac, ConvergesToLinkCliff) {
+  SimConfig cfg;
+  cfg.measure = seconds(4);
+  cfg.seed = 5;
+  Sim sim(cfg);
+  const auto l = pairs_in_range(1);
+  Node& s = sim.add_node(l.senders[0]);
+  Node& r = sim.add_node(l.receivers[0]);
+  auto f = sim.add_udp_flow(s, r);
+  s.mac().enable_auto_rate(/*start=*/1.0);
+  // The channel only sustains 5.5 Mbps.
+  sim.channel().error_model().set_link_rate_limit(s.id(), r.id(), 5.5);
+  sim.run();
+  EXPECT_DOUBLE_EQ(s.mac().data_rate_to(r.id()), 5.5);
+  const auto* ctrl = s.mac().rate_controller(r.id());
+  ASSERT_NE(ctrl, nullptr);
+  EXPECT_GT(ctrl->ups(), 2) << "climbed from 1 Mbps and kept probing";
+  EXPECT_GT(f.goodput_mbps(), 2.0);
+}
+
+TEST(AutoRateMac, CleanChannelReachesTopRate) {
+  SimConfig cfg;
+  cfg.measure = seconds(3);
+  Sim sim(cfg);
+  const auto l = pairs_in_range(1);
+  Node& s = sim.add_node(l.senders[0]);
+  Node& r = sim.add_node(l.receivers[0]);
+  auto f = sim.add_udp_flow(s, r);
+  s.mac().enable_auto_rate(1.0);
+  sim.run();
+  EXPECT_DOUBLE_EQ(s.mac().data_rate_to(r.id()), 11.0);
+  EXPECT_GT(f.goodput_mbps(), 3.0);
+}
+
+TEST(AutoRateMac, RatesArePerDestination) {
+  SimConfig cfg;
+  cfg.measure = seconds(4);
+  cfg.seed = 9;
+  Sim sim(cfg);
+  const auto l = shared_ap(2);
+  Node& ap = sim.add_node(l.ap);
+  Node& good = sim.add_node(l.clients[0]);
+  Node& bad = sim.add_node(l.clients[1]);
+  auto f1 = sim.add_udp_flow(ap, good, 4.0);
+  auto f2 = sim.add_udp_flow(ap, bad, 4.0);
+  ap.mac().enable_auto_rate(1.0);
+  sim.channel().error_model().set_link_rate_limit(ap.id(), bad.id(), 2.0);
+  sim.run();
+  EXPECT_DOUBLE_EQ(ap.mac().data_rate_to(good.id()), 11.0);
+  EXPECT_DOUBLE_EQ(ap.mac().data_rate_to(bad.id()), 2.0);
+  (void)f1;
+  (void)f2;
+}
+
+// --- The paper's future-work conjectures (Section IX) ------------------------
+
+TEST(AutoRateMisbehavior, FakeAcksBackfireUnderAutoRate) {
+  // "The damage of faking ACKs may reduce under autorate, since without
+  // correct feedback the transmitter may not choose the best modulation
+  // scheme": the fake ACKs hold GS above the cliff where nothing decodes.
+  auto greedy_run = [](bool fake) {
+    SimConfig cfg;
+    cfg.measure = seconds(5);
+    cfg.seed = 17;
+    cfg.rts_cts = false;
+    Sim sim(cfg);
+    const auto l = pairs_in_range(1);
+    Node& gs = sim.add_node(l.senders[0]);
+    Node& gr = sim.add_node(l.receivers[0]);
+    auto f = sim.add_udp_flow(gs, gr);
+    gs.mac().enable_auto_rate(1.0);
+    // The channel sustains 5.5 Mbps; 11 Mbps is a cliff (90% FER).
+    sim.channel().error_model().set_link_rate_limit(gs.id(), gr.id(), 5.5);
+    if (fake) sim.make_fake_acker(gr, 1.0);
+    sim.run();
+    const auto* ctrl = gs.mac().rate_controller(gr.id());
+    return std::pair{f.goodput_mbps(), ctrl ? ctrl->ups() : 0};
+  };
+  const auto [honest_goodput, honest_ups] = greedy_run(false);
+  const auto [faked_goodput, faked_ups] = greedy_run(true);
+  // Honest ARF sits at the cliff, probing up and immediately falling back
+  // (many up/down cycles); the fake-ACKed controller gets stuck above the
+  // cliff for long stretches (few transitions), decoding almost nothing.
+  EXPECT_GT(honest_ups, 4 * std::max<std::int64_t>(faked_ups, 1));
+  EXPECT_LT(faked_goodput, 0.5 * honest_goodput)
+      << "the cheater mostly receives corrupted frames it pretended to ACK";
+}
+
+TEST(AutoRateMisbehavior, SpoofedAcksBlindTheVictimsRateControl) {
+  // "The damage of spoofing ACKs can increase with auto-rate": NS's
+  // controller, fed spoofed ACKs, keeps the rate above what NR can decode,
+  // so the victim loses even the residual goodput it kept at fixed rate.
+  auto victim_goodput = [](bool attack) {
+    SimConfig cfg;
+    cfg.measure = seconds(5);
+    cfg.seed = 19;
+    cfg.rts_cts = false;
+    cfg.capture_threshold = 10.0;
+    Sim sim(cfg);
+    const auto l = pairs_in_range(2);
+    Node& ns = sim.add_node(l.senders[0]);
+    Node& gs = sim.add_node(l.senders[1]);
+    Node& nr = sim.add_node(l.receivers[0]);
+    Node& gr = sim.add_node(l.receivers[1]);
+    auto fn = sim.add_udp_flow(ns, nr, 6.0);
+    auto fg = sim.add_udp_flow(gs, gr, 6.0);
+    ns.mac().enable_auto_rate(1.0);
+    // NR's channel only decodes up to 5.5 Mbps; ARF must discover that.
+    sim.channel().error_model().set_link_rate_limit(ns.id(), nr.id(), 5.5);
+    if (attack) sim.make_ack_spoofer(gr, 1.0, {nr.id()});
+    sim.run();
+    (void)fg;
+    return fn.goodput_mbps();
+  };
+  const double honest = victim_goodput(false);   // ARF settles at 5.5 Mbps
+  const double blinded = victim_goodput(true);   // spoofs hide NR's losses
+  EXPECT_GT(honest, 1.0) << "rate adaptation serves the honest victim well";
+  EXPECT_LT(blinded, 0.5 * honest)
+      << "spoofed ACKs deny the victim the benefit of rate adaptation";
+}
+
+}  // namespace
+}  // namespace g80211

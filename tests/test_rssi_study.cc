@@ -1,0 +1,93 @@
+// Synthetic RSSI measurement study (Figs 21/22 substrate).
+#include <gtest/gtest.h>
+
+#include "src/analysis/stats.h"
+#include "src/rssi/rssi_trace.h"
+
+namespace g80211 {
+namespace {
+
+RssiStudy make_study(std::uint64_t seed = 1) {
+  RssiStudyConfig cfg;
+  cfg.samples_per_link = 100;
+  return RssiStudy(cfg, Rng(seed));
+}
+
+TEST(RssiStudy, LinkCountMatchesTopology) {
+  const auto s = make_study();
+  EXPECT_EQ(s.links(), 16 * 15);
+}
+
+TEST(RssiStudy, MostSamplesWithinOneDbOfMedian) {
+  // The paper's Fig 21 headline: ~95% of RSSI samples within 1 dB of the
+  // link median.
+  const auto s = make_study();
+  const auto cdf = empirical_cdf(s.deviations());
+  const double within_1db = cdf_at(cdf, 1.0);
+  EXPECT_GT(within_1db, 0.90);
+  EXPECT_LT(within_1db, 1.0);
+}
+
+TEST(RssiStudy, DeviationsAreNonNegative) {
+  const auto s = make_study();
+  for (const double d : s.deviations()) ASSERT_GE(d, 0.0);
+}
+
+TEST(RssiStudy, FalsePositiveDecreasesWithThreshold) {
+  const auto s = make_study();
+  double prev = 1.0;
+  for (double t : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+    const auto r = s.rates_at(t);
+    EXPECT_LE(r.false_positive, prev + 1e-12);
+    prev = r.false_positive;
+  }
+}
+
+TEST(RssiStudy, FalseNegativeIncreasesWithThreshold) {
+  const auto s = make_study();
+  double prev = -1.0;
+  for (double t : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+    const auto r = s.rates_at(t);
+    EXPECT_GE(r.false_negative, prev - 1e-12);
+    prev = r.false_negative;
+  }
+}
+
+TEST(RssiStudy, OneDbThresholdBalancesErrors) {
+  // Paper Fig 22: 1 dB achieves both low false positives and low false
+  // negatives.
+  const auto s = make_study();
+  const auto r = s.rates_at(1.0);
+  EXPECT_LT(r.false_positive, 0.10);
+  EXPECT_LT(r.false_negative, 0.25);
+}
+
+TEST(RssiStudy, ExtremeThresholdsDegenerate) {
+  const auto s = make_study();
+  const auto r0 = s.rates_at(0.0);
+  EXPECT_GT(r0.false_positive, 0.4) << "zero threshold flags nearly everything";
+  const auto r100 = s.rates_at(100.0);
+  EXPECT_DOUBLE_EQ(r100.false_positive, 0.0);
+  EXPECT_DOUBLE_EQ(r100.false_negative, 1.0);
+}
+
+TEST(RssiStudy, DeterministicForSameSeed) {
+  const auto a = make_study(7);
+  const auto b = make_study(7);
+  ASSERT_EQ(a.deviations().size(), b.deviations().size());
+  for (std::size_t i = 0; i < a.deviations().size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.deviations()[i], b.deviations()[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.rates_at(1.0).false_negative, b.rates_at(1.0).false_negative);
+}
+
+TEST(RssiStudy, RatesStableAcrossCalls) {
+  const auto s = make_study();
+  const auto r1 = s.rates_at(1.0);
+  const auto r2 = s.rates_at(1.0);
+  EXPECT_DOUBLE_EQ(r1.false_negative, r2.false_negative);
+  EXPECT_DOUBLE_EQ(r1.false_positive, r2.false_positive);
+}
+
+}  // namespace
+}  // namespace g80211

@@ -1,0 +1,157 @@
+// Unit tests for the discrete-event kernel: ordering, cancellation,
+// determinism, timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/scheduler.h"
+
+namespace g80211 {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(microseconds(30), [&] { order.push_back(3); });
+  s.at(microseconds(10), [&] { order.push_back(1); });
+  s.at(microseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TiesBreakInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.at(microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, NowAdvancesToEventTime) {
+  Scheduler s;
+  Time seen = -1;
+  s.at(milliseconds(7), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, milliseconds(7));
+  EXPECT_EQ(s.now(), milliseconds(7));
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.at(seconds(1), [&] { ++fired; });
+  s.at(seconds(3), [&] { ++fired; });
+  s.run_until(seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), seconds(2));
+  s.run_until(seconds(4));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.after(microseconds(1), recurse);
+  };
+  s.after(microseconds(1), recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  EventId id = s.at(microseconds(10), [&] { ran = true; });
+  EXPECT_TRUE(id.pending());
+  id.cancel();
+  EXPECT_FALSE(id.pending());
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelAtSameTimestampBeforeDispatchWorks) {
+  // An event at time T cancelling another event also at time T (scheduled
+  // later in insertion order) must win — the MAC relies on this for
+  // same-instant busy-edge vs timer races.
+  Scheduler s;
+  bool second_ran = false;
+  EventId second;
+  s.at(microseconds(5), [&] { second.cancel(); });
+  second = s.at(microseconds(5), [&] { second_ran = true; });
+  s.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Scheduler, PendingReflectsFiredState) {
+  Scheduler s;
+  EventId id = s.at(microseconds(1), [] {});
+  s.run();
+  EXPECT_FALSE(id.pending());
+}
+
+TEST(Scheduler, ExecutedCountsOnlyLiveEvents) {
+  Scheduler s;
+  EventId a = s.at(microseconds(1), [] {});
+  s.at(microseconds(2), [] {});
+  a.cancel();
+  s.run();
+  EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(Timer, StartCancelRestart) {
+  Scheduler s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.start(microseconds(10));
+  EXPECT_TRUE(t.pending());
+  t.cancel();
+  s.run();
+  EXPECT_EQ(fired, 0);
+  t.start(microseconds(10));
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, RestartSupersedesPreviousDeadline) {
+  Scheduler s;
+  std::vector<Time> fire_times;
+  Timer t(s, [&] { fire_times.push_back(s.now()); });
+  t.start(microseconds(10));
+  t.start(microseconds(50));  // replaces the earlier deadline
+  s.run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], microseconds(50));
+}
+
+TEST(Timer, StartAtAbsoluteTime) {
+  Scheduler s;
+  Time fired_at = -1;
+  Timer t(s, [&] { fired_at = s.now(); });
+  s.at(microseconds(5), [&] { t.start_at(microseconds(42)); });
+  s.run();
+  EXPECT_EQ(fired_at, microseconds(42));
+}
+
+TEST(TimeHelpers, ConversionsRoundTrip) {
+  EXPECT_EQ(microseconds(1), nanoseconds(1000));
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_micros(microseconds(17)), 17.0);
+  EXPECT_DOUBLE_EQ(to_millis(milliseconds(9)), 9.0);
+}
+
+TEST(TimeHelpers, TxTimeRoundsUp) {
+  // 1 bit at 11 Mbps = 90.909... ns -> 91 ns.
+  EXPECT_EQ(tx_time(1, 11.0), 91);
+  // 8736 bits at 11 Mbps = 794181.8 ns -> 794182.
+  EXPECT_EQ(tx_time(8736, 11.0), 794182);
+  // Exact division does not round up: 1000 bits at 1 Mbps = 1 ms.
+  EXPECT_EQ(tx_time(1000, 1.0), microseconds(1000));
+}
+
+}  // namespace
+}  // namespace g80211

@@ -1,0 +1,194 @@
+// Sender-side misbehavior baseline and its detection: the backoff cheat
+// (Kyasanur & Vaidya-style greedy sender), the DOMINO-style backoff
+// monitor, and the RSSI-based greedy-node locator from the paper's
+// Section VII-A.
+#include <gtest/gtest.h>
+
+#include "src/detect/backoff_monitor.h"
+#include "src/detect/locator.h"
+#include "src/detect/nav_validator.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+
+namespace g80211 {
+namespace {
+
+SimConfig cfg_for(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.measure = seconds(5);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(GreedySender, BackoffCheatStealsBandwidth) {
+  // The classic greedy-sender result: halving the effective backoff window
+  // wins a disproportionate share of a saturated channel.
+  Sim sim(cfg_for(23));
+  const auto l = pairs_in_range(2);
+  Node& honest_s = sim.add_node(l.senders[0]);
+  Node& greedy_s = sim.add_node(l.senders[1]);
+  Node& r1 = sim.add_node(l.receivers[0]);
+  Node& r2 = sim.add_node(l.receivers[1]);
+  auto f1 = sim.add_udp_flow(honest_s, r1);
+  auto f2 = sim.add_udp_flow(greedy_s, r2);
+  greedy_s.mac().set_backoff_cheat(0.1);
+  sim.run();
+  EXPECT_GT(f2.goodput_mbps(), 1.8 * f1.goodput_mbps());
+}
+
+TEST(GreedySender, HonestCheatFactorIsNeutral) {
+  auto split = [](double cheat) {
+    Sim sim(cfg_for(24));
+    const auto l = pairs_in_range(2);
+    Node& s1 = sim.add_node(l.senders[0]);
+    Node& s2 = sim.add_node(l.senders[1]);
+    Node& r1 = sim.add_node(l.receivers[0]);
+    Node& r2 = sim.add_node(l.receivers[1]);
+    auto f1 = sim.add_udp_flow(s1, r1);
+    auto f2 = sim.add_udp_flow(s2, r2);
+    s2.mac().set_backoff_cheat(cheat);
+    sim.run();
+    return std::pair{f1.goodput_mbps(), f2.goodput_mbps()};
+  };
+  const auto [a1, a2] = split(1.0);
+  EXPECT_NEAR(a1, a2, 0.3 * (a1 + a2));
+}
+
+TEST(BackoffMonitor, MeasuresHonestBackoffNearNominal) {
+  Sim sim(cfg_for(25));
+  const auto l = pairs_in_range(2);
+  Node& s1 = sim.add_node(l.senders[0]);
+  Node& s2 = sim.add_node(l.senders[1]);
+  Node& r1 = sim.add_node(l.receivers[0]);
+  Node& r2 = sim.add_node(l.receivers[1]);
+  auto f1 = sim.add_udp_flow(s1, r1);
+  auto f2 = sim.add_udp_flow(s2, r2);
+  // Observe from a bystander position: receiver 1's MAC.
+  BackoffMonitor monitor(sim.scheduler(), sim.params());
+  monitor.attach(r1.mac());
+  sim.run();
+  // Nominal mean backoff at CWmin=31 is 15.5 slots; freeze/resume and CW
+  // growth shift the observation, but it must be in that region.
+  EXPECT_GT(monitor.samples(s1.id()), 50);
+  EXPECT_GT(monitor.observed_backoff(s1.id()), 6.0);
+  EXPECT_FALSE(monitor.flagged(s1.id()));
+  EXPECT_FALSE(monitor.flagged(s2.id()));
+  (void)f1;
+  (void)f2;
+}
+
+TEST(BackoffMonitor, FlagsBackoffCheater) {
+  Sim sim(cfg_for(26));
+  const auto l = pairs_in_range(2);
+  Node& honest_s = sim.add_node(l.senders[0]);
+  Node& greedy_s = sim.add_node(l.senders[1]);
+  Node& r1 = sim.add_node(l.receivers[0]);
+  Node& r2 = sim.add_node(l.receivers[1]);
+  auto f1 = sim.add_udp_flow(honest_s, r1);
+  auto f2 = sim.add_udp_flow(greedy_s, r2);
+  greedy_s.mac().set_backoff_cheat(0.1);
+  BackoffMonitor monitor(sim.scheduler(), sim.params());
+  monitor.attach(r1.mac());
+  sim.run();
+  EXPECT_TRUE(monitor.flagged(greedy_s.id()));
+  EXPECT_FALSE(monitor.flagged(honest_s.id()));
+  const auto cheaters = monitor.cheaters();
+  ASSERT_EQ(cheaters.size(), 1u);
+  EXPECT_EQ(cheaters[0], greedy_s.id());
+  (void)f1;
+  (void)f2;
+}
+
+TEST(BackoffMonitor, StarvedHonestStationIsNotFlagged) {
+  // Under a dominant cheater, the honest station only transmits when its
+  // residual counter is tiny, so its per-access gaps look as small as the
+  // cheater's. The transmission-share condition must keep it clean.
+  Sim sim(cfg_for(28));
+  const auto l = pairs_in_range(2);
+  Node& honest_s = sim.add_node(l.senders[0]);
+  Node& greedy_s = sim.add_node(l.senders[1]);
+  Node& r1 = sim.add_node(l.receivers[0]);
+  Node& r2 = sim.add_node(l.receivers[1]);
+  auto f1 = sim.add_udp_flow(honest_s, r1);
+  auto f2 = sim.add_udp_flow(greedy_s, r2);
+  greedy_s.mac().set_backoff_cheat(0.25);
+  BackoffMonitor monitor(sim.scheduler(), sim.params());
+  monitor.attach(r1.mac());
+  sim.run();
+  EXPECT_TRUE(monitor.flagged(greedy_s.id()));
+  EXPECT_FALSE(monitor.flagged(honest_s.id()))
+      << "observed backoff " << monitor.observed_backoff(honest_s.id())
+      << " share " << monitor.tx_share(honest_s.id());
+  EXPECT_GT(monitor.tx_share(greedy_s.id()), 0.65);
+  (void)f1;
+  (void)f2;
+}
+
+TEST(BackoffMonitor, UnknownStationIsNotFlagged) {
+  Scheduler sched;
+  BackoffMonitor monitor(sched, WifiParams::b11());
+  EXPECT_FALSE(monitor.flagged(42));
+  EXPECT_EQ(monitor.samples(42), 0);
+  EXPECT_LT(monitor.observed_backoff(42), 0.0);
+}
+
+TEST(GreedyLocator, AttributesInflatedNavToTheRightStation) {
+  // NAV validator detects inflated CTS frames (which carry no transmitter
+  // address); the locator pins them on the greedy receiver by RSSI.
+  Sim sim(cfg_for(27));
+  const auto l = pairs_in_range(2);
+  Node& ns = sim.add_node(l.senders[0]);
+  Node& gs = sim.add_node(l.senders[1]);
+  Node& nr = sim.add_node(l.receivers[0]);
+  Node& gr = sim.add_node(l.receivers[1]);
+  // RSSI attribution needs the candidates to have separable power levels
+  // at the observer; this bystander sits 2 m from GR and 2.8 m from GS
+  // (a 3 dB gap), the kind of vantage point an AP operator would pick.
+  Node& observer = sim.add_node({2, 7});
+  auto fn = sim.add_udp_flow(ns, nr);
+  auto fg = sim.add_tcp_flow(gs, gr);  // TCP: GR also sends DATA (profiles)
+  sim.make_nav_inflator(gr, NavFrameMask::cts_only(), milliseconds(10));
+
+  GreedyLocator locator(0.5);
+  locator.attach(observer.mac());
+  NavValidator validator(sim.scheduler(), sim.params());
+  validator.attach(observer.mac());
+  // On every sniffed CTS that the validator would clamp, accuse by RSSI.
+  auto prev = std::move(observer.mac().sniffer);
+  observer.mac().sniffer = [&](const Frame& f, const RxInfo& info) {
+    if (prev) prev(f, info);
+    if (!info.corrupted && f.type == FrameType::kCts &&
+        f.duration > validator.expected_duration(f) + microseconds(2)) {
+      locator.accuse(info.rssi_dbm);
+    }
+  };
+  sim.run();
+
+  ASSERT_TRUE(locator.prime_suspect().has_value());
+  EXPECT_EQ(*locator.prime_suspect(), gr.id());
+  // The honest stations are essentially never accused.
+  const auto& acc = locator.accusations();
+  std::int64_t others = 0;
+  for (const auto& [station, n] : acc) {
+    if (station != gr.id()) others += n;
+  }
+  EXPECT_GT(acc.at(gr.id()), 10 * std::max<std::int64_t>(others, 1));
+  (void)fn;
+  (void)fg;
+}
+
+TEST(GreedyLocator, AmbiguousRssiYieldsNoAttribution) {
+  GreedyLocator locator(1.0);
+  // Two stations with near-identical profiles.
+  for (int i = 0; i < 10; ++i) {
+    locator.monitor().add_sample(1, -50.0);
+    locator.monitor().add_sample(2, -50.3);
+  }
+  // locate() needs `known_` filled via attach(); exercise the public
+  // monitor-based path instead through accuse-free locate on empty known:
+  EXPECT_FALSE(locator.locate(-50.1).has_value())
+      << "no learned stations -> no attribution";
+}
+
+}  // namespace
+}  // namespace g80211

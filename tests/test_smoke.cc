@@ -1,0 +1,36 @@
+// End-to-end smoke: two honest saturated UDP pairs share the medium
+// roughly fairly, and the whole stack (scheduler, channel, PHY, DCF MAC,
+// CBR/UDP) holds together.
+#include <gtest/gtest.h>
+
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+
+namespace g80211 {
+namespace {
+
+TEST(Smoke, TwoHonestUdpPairsShareFairly) {
+  SimConfig cfg;
+  cfg.measure = seconds(3);
+  cfg.seed = 7;
+  Sim sim(cfg);
+  const PairLayout layout = pairs_in_range(2);
+  Node& s1 = sim.add_node(layout.senders[0]);
+  Node& s2 = sim.add_node(layout.senders[1]);
+  Node& r1 = sim.add_node(layout.receivers[0]);
+  Node& r2 = sim.add_node(layout.receivers[1]);
+  auto f1 = sim.add_udp_flow(s1, r1);
+  auto f2 = sim.add_udp_flow(s2, r2);
+  sim.run();
+
+  const double g1 = f1.goodput_mbps();
+  const double g2 = f2.goodput_mbps();
+  // 802.11b with RTS/CTS at 11 Mbps carries roughly 2.5-4.5 Mbps of
+  // 1024-byte payloads in total.
+  EXPECT_GT(g1 + g2, 2.0) << "total goodput implausibly low";
+  EXPECT_LT(g1 + g2, 7.0) << "total goodput above channel capacity";
+  EXPECT_NEAR(g1, g2, 0.35 * (g1 + g2)) << "honest flows should share fairly";
+}
+
+}  // namespace
+}  // namespace g80211

@@ -1,0 +1,77 @@
+// PFTK model: analytic sanity, and agreement with the simulator for the
+// spoofing victim (whose TCP sees the raw frame error rate) vs the honest
+// flow (whose MAC hides all but consecutive losses).
+#include <gtest/gtest.h>
+
+#include "src/analysis/tcp_model.h"
+#include "src/phy/error_model.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+
+namespace g80211 {
+namespace {
+
+TEST(PftkModel, MonotoneDecreasingInLoss) {
+  PftkConfig cfg;
+  double prev = 1e18;
+  for (double p : {0.0, 0.001, 0.01, 0.05, 0.1, 0.3, 0.6}) {
+    const double thr = pftk_throughput_mbps(cfg, p);
+    EXPECT_GT(thr, 0.0);
+    EXPECT_LE(thr, prev) << p;
+    prev = thr;
+  }
+}
+
+TEST(PftkModel, LossFreeIsWindowLimited) {
+  PftkConfig cfg;
+  cfg.max_window = 10;
+  cfg.rtt = milliseconds(100);
+  // 10 * 1024 B / 100 ms = 0.82 Mbps.
+  EXPECT_NEAR(pftk_throughput_mbps(cfg, 0.0), 0.819, 0.01);
+  EXPECT_LE(pftk_throughput_mbps(cfg, 1e-6), 0.82);
+}
+
+TEST(PftkModel, SqrtRegimeScaling) {
+  // In the fast-retransmit regime, halving p scales throughput by sqrt(2).
+  PftkConfig cfg;
+  cfg.rto = milliseconds(0);  // isolate the sqrt term
+  const double a = pftk_throughput_mbps(cfg, 0.01);
+  const double b = pftk_throughput_mbps(cfg, 0.005);
+  EXPECT_NEAR(b / a, std::sqrt(2.0), 0.01);
+}
+
+TEST(PftkModel, ExplainsSpoofingDamageOrderOfMagnitude) {
+  // Simulate the Fig 11 operating point and compare victim goodput with
+  // PFTK at p = raw data FER (spoofing exposes every frame loss to TCP).
+  const double ber = 2e-4;
+  SimConfig cfg;
+  cfg.measure = seconds(8);
+  cfg.seed = 121;
+  cfg.default_ber = ber;
+  cfg.capture_threshold = 10.0;
+  Sim sim(cfg);
+  const PairLayout l = pairs_in_range(2);
+  Node& ns = sim.add_node(l.senders[0]);
+  Node& gs = sim.add_node(l.senders[1]);
+  Node& nr = sim.add_node(l.receivers[0]);
+  Node& gr = sim.add_node(l.receivers[1]);
+  auto fn = sim.add_tcp_flow(ns, nr);
+  auto fg = sim.add_tcp_flow(gs, gr);
+  sim.make_ack_spoofer(gr, 1.0, {nr.id()});
+  sim.run();
+
+  const double p = ErrorModel::fer(ber, ErrorModel::error_len(FrameType::kData, 1064));
+  PftkConfig model;
+  // RTT under contention with the greedy flow: a couple of MAC exchanges.
+  model.rtt = milliseconds(8);
+  const double predicted = pftk_throughput_mbps(model, p);
+  const double measured = fn.goodput_mbps();
+  EXPECT_GT(measured, predicted / 3.0);
+  EXPECT_LT(measured, predicted * 3.0)
+      << "PFTK(p=FER=" << p << ") = " << predicted << " vs sim " << measured;
+  // And the honest flow (MAC hides losses) does far better than PFTK at p.
+  EXPECT_GT(fg.goodput_mbps(), 2.0 * predicted);
+}
+
+}  // namespace
+}  // namespace g80211

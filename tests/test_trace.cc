@@ -1,0 +1,132 @@
+// Frame tracer and the fairness statistics added for the evaluation
+// tooling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/analysis/stats.h"
+#include "src/net/node.h"
+#include "src/phy/channel.h"
+#include "src/sim/trace.h"
+
+namespace g80211 {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : channel_(sched_, WifiParams::b11()) {}
+  Node& add_node(Position pos) {
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(
+        std::make_unique<Node>(sched_, channel_, id, pos, Rng(800 + id)));
+    return *nodes_.back();
+  }
+  PacketPtr packet() {
+    auto p = std::make_shared<Packet>();
+    p->flow_id = 1;
+    p->size_bytes = 1064;
+    p->src_node = 0;
+    p->dst_node = 1;
+    return p;
+  }
+  Scheduler sched_;
+  Channel channel_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST_F(TraceTest, CapturesFullExchange) {
+  Node& tx = add_node({0, 0});
+  add_node({5, 0});
+  Node& observer = add_node({5, 5});
+  FrameTracer tracer;
+  tracer.attach(observer.mac());
+  tx.send_packet(packet());
+  sched_.run_until(seconds(1));
+
+  ASSERT_EQ(tracer.size(), 4u);  // RTS CTS DATA ACK
+  EXPECT_EQ(tracer.records()[0].type, FrameType::kRts);
+  EXPECT_EQ(tracer.records()[0].ta, 0);
+  EXPECT_EQ(tracer.records()[3].type, FrameType::kAck);
+  EXPECT_FALSE(tracer.records()[0].corrupted);
+  EXPECT_LT(tracer.records()[0].end, tracer.records()[1].start);
+}
+
+TEST_F(TraceTest, RingBufferCapsMemory) {
+  Node& tx = add_node({0, 0});
+  add_node({5, 0});
+  Node& observer = add_node({5, 5});
+  FrameTracer tracer(6);
+  tracer.attach(observer.mac());
+  for (int i = 0; i < 5; ++i) tx.send_packet(packet());
+  sched_.run_until(seconds(1));
+  EXPECT_EQ(tracer.size(), 6u) << "capped at capacity";
+  // The oldest retained record is no longer the first RTS.
+  EXPECT_GT(tracer.records().front().start, 0);
+}
+
+TEST_F(TraceTest, LiveSinkAndCount) {
+  Node& tx = add_node({0, 0});
+  add_node({5, 0});
+  Node& observer = add_node({5, 5});
+  FrameTracer tracer;
+  tracer.attach(observer.mac());
+  int live = 0;
+  tracer.on_record = [&](const TraceRecord&) { ++live; };
+  tx.send_packet(packet());
+  tx.send_packet(packet());
+  sched_.run_until(seconds(1));
+  EXPECT_EQ(live, 8);
+  EXPECT_EQ(tracer.count([](const TraceRecord& r) {
+    return r.type == FrameType::kData;
+  }), 2);
+}
+
+TEST_F(TraceTest, DumpAndToStringContainEssentials) {
+  Node& tx = add_node({0, 0});
+  add_node({5, 0});
+  Node& observer = add_node({5, 5});
+  FrameTracer tracer;
+  tracer.attach(observer.mac());
+  tx.send_packet(packet());
+  sched_.run_until(seconds(1));
+
+  std::ostringstream os;
+  tracer.dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("RTS"), std::string::npos);
+  EXPECT_NE(out.find("ACK"), std::string::npos);
+  EXPECT_NE(out.find("dur="), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST_F(TraceTest, MarksCorruptedFrames) {
+  Node& tx = add_node({0, 0});
+  add_node({5, 0});
+  Node& observer = add_node({5, 5});
+  tx.mac().set_rts_cts(false);
+  channel_.error_model().set_link_ber(0, 2, 1.0);  // corrupt at the observer
+  FrameTracer tracer;
+  tracer.attach(observer.mac());
+  tx.send_packet(packet());
+  sched_.run_until(seconds(1));
+  EXPECT_GT(tracer.count([](const TraceRecord& r) { return r.corrupted; }), 0);
+  std::ostringstream os;
+  tracer.dump(os);
+  EXPECT_NE(os.str().find("CORRUPT"), std::string::npos);
+}
+
+TEST(JainFairness, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_fairness({1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({1, 0, 0, 0}), 0.25);
+  EXPECT_NEAR(jain_fairness({4, 1}), 25.0 / 34.0, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({5}), 1.0);
+}
+
+TEST(JainFairness, ScaleInvariant) {
+  EXPECT_NEAR(jain_fairness({1, 2, 3}), jain_fairness({10, 20, 30}), 1e-12);
+}
+
+}  // namespace
+}  // namespace g80211

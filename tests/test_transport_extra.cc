@@ -1,0 +1,159 @@
+// Additional transport coverage: RTT estimation details, window caps
+// under loss, TCP interactions with the wireless MAC, and remote-sender
+// behaviours over the wired substrate.
+#include <gtest/gtest.h>
+
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+#include "src/transport/tcp_sender.h"
+#include "src/transport/tcp_sink.h"
+
+namespace g80211 {
+namespace {
+
+// Reuse the lossy-pipe harness shape from test_transport.cc.
+class Pipe {
+ public:
+  explicit Pipe(Time one_way, TcpSender::Config cfg = TcpSender::Config{})
+      : sender(sched, cfg, 1, 0, 1), sink(sched, 1, 1, 0, cfg.mss_bytes) {
+    sender.output = [this, one_way](PacketPtr p) {
+      if (drop_all_data && !p->tcp.is_ack) return;
+      sched.after(one_way, [this, p] { sink.receive(p); });
+    };
+    sink.output = [this, one_way](PacketPtr p) {
+      sched.after(one_way, [this, p] { sender.receive(p); });
+    };
+  }
+  Scheduler sched;
+  TcpSender sender;
+  TcpSink sink;
+  bool drop_all_data = false;
+};
+
+TEST(TcpRtt, RtoTracksPathDelay) {
+  // With a 50 ms one-way pipe, RTT = 100 ms; the smoothed RTO must settle
+  // between the RTT and a few RTTs (given near-zero variance, near the
+  // 200 ms floor after SRTT converges).
+  Pipe p(milliseconds(50));
+  p.sender.start(0);
+  p.sched.run_until(seconds(3));
+  EXPECT_GE(p.sender.rto(), milliseconds(100));
+  EXPECT_LE(p.sender.rto(), milliseconds(400));
+}
+
+TEST(TcpRtt, MinRtoFloorsShortPaths) {
+  TcpSender::Config cfg;
+  cfg.min_rto = milliseconds(150);
+  Pipe p(microseconds(200), cfg);
+  p.sender.start(0);
+  p.sched.run_until(seconds(1));
+  EXPECT_GE(p.sender.rto(), milliseconds(150));
+}
+
+TEST(TcpWindow, FlightNeverExceedsMaxWindow) {
+  TcpSender::Config cfg;
+  cfg.max_window = 8;
+  Pipe p(milliseconds(30), cfg);
+  p.sender.start(0);
+  // Check the in-flight bound continuously for a while.
+  for (int t = 1; t <= 40; ++t) {
+    p.sched.run_until(milliseconds(25 * t));
+    const std::int64_t flight =
+        p.sender.segments_sent() -
+        p.sender.retransmissions() - p.sink.segments();
+    EXPECT_LE(flight, 8 + 1) << "at t=" << t;
+  }
+}
+
+TEST(TcpBlackout, SenderStopsTransmittingForever) {
+  Pipe p(milliseconds(5));
+  p.sender.start(0);
+  p.sched.run_until(milliseconds(500));
+  p.drop_all_data = true;
+  p.sched.run_until(seconds(20));
+  const auto sent_at_20s = p.sender.segments_sent();
+  p.sched.run_until(seconds(40));
+  // Only RTO probes trickle out, with exponentially growing gaps.
+  EXPECT_LE(p.sender.segments_sent() - sent_at_20s, 4);
+  EXPECT_GE(p.sender.timeouts(), 4);
+}
+
+TEST(TcpOverWireless, AckPathLossDoesNotDeadlock) {
+  // The reverse (TCP-ACK) path is very lossy at the MAC; TCP must still
+  // make progress thanks to MAC retransmissions and cumulative ACKs.
+  SimConfig cfg;
+  cfg.measure = seconds(4);
+  cfg.seed = 91;
+  Sim sim(cfg);
+  const PairLayout l = pairs_in_range(1);
+  Node& s = sim.add_node(l.senders[0]);
+  Node& r = sim.add_node(l.receivers[0]);
+  auto f = sim.add_tcp_flow(s, r);
+  // TCP ACK data frames r -> s corrupt 60% of the time.
+  sim.channel().error_model().set_link_ber(
+      r.id(), s.id(),
+      ErrorModel::ber_for_fer(0.6, ErrorModel::error_len(FrameType::kData, 40)));
+  sim.run();
+  EXPECT_GT(f.goodput_mbps(), 0.5);
+}
+
+TEST(TcpOverWireless, TwoFlowsConvergeToSimilarCwnd) {
+  SimConfig cfg;
+  cfg.measure = seconds(6);
+  cfg.seed = 92;
+  Sim sim(cfg);
+  const PairLayout l = pairs_in_range(2);
+  Node& s1 = sim.add_node(l.senders[0]);
+  Node& s2 = sim.add_node(l.senders[1]);
+  Node& r1 = sim.add_node(l.receivers[0]);
+  Node& r2 = sim.add_node(l.receivers[1]);
+  auto f1 = sim.add_tcp_flow(s1, r1);
+  auto f2 = sim.add_tcp_flow(s2, r2);
+  sim.run();
+  const double c1 = f1.sender->avg_cwnd();
+  const double c2 = f2.sender->avg_cwnd();
+  EXPECT_NEAR(c1, c2, 0.5 * (c1 + c2)) << c1 << " vs " << c2;
+  // Table II scale: two-sender honest cwnd sits in the tens.
+  EXPECT_GT(c1 + c2, 30.0);
+}
+
+TEST(RemoteTcp, ThroughputFallsWithWiredLatency) {
+  auto goodput_at = [](Time latency) {
+    SimConfig cfg;
+    cfg.measure = std::max<Time>(seconds(6), 40 * latency);
+    cfg.seed = 93;
+    Sim sim(cfg);
+    const auto l = shared_ap(1);
+    Node& ap = sim.add_node(l.ap);
+    Node& client = sim.add_node(l.clients[0]);
+    WiredHost& host = sim.add_wired_host(ap, latency);
+    auto f = sim.add_remote_tcp_flow(host, ap, client);
+    sim.run();
+    return f.goodput_mbps();
+  };
+  const double fast = goodput_at(milliseconds(5));
+  const double slow = goodput_at(milliseconds(300));
+  EXPECT_GT(fast, 1.5);
+  EXPECT_LT(slow, fast) << "600 ms RTT with a 128-segment window caps rate";
+}
+
+TEST(RemoteTcp, WindowLimitedThroughputMatchesBandwidthDelay) {
+  // At 300 ms one-way the pipe is window-limited:
+  // 128 segments * 1024 B / 0.6 s RTT ~ 1.7 Mbps ceiling.
+  SimConfig cfg;
+  cfg.measure = seconds(20);
+  cfg.seed = 94;
+  Sim sim(cfg);
+  const auto l = shared_ap(1);
+  Node& ap = sim.add_node(l.ap);
+  Node& client = sim.add_node(l.clients[0]);
+  WiredHost& host = sim.add_wired_host(ap, milliseconds(300));
+  auto f = sim.add_remote_tcp_flow(host, ap, client);
+  sim.run();
+  const double ceiling = 128.0 * 1024.0 * 8.0 / 0.6 / 1e6;
+  EXPECT_LT(f.goodput_mbps(), ceiling * 1.1);
+  EXPECT_GT(f.goodput_mbps(), ceiling * 0.5);
+}
+
+}  // namespace
+}  // namespace g80211

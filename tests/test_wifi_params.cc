@@ -1,0 +1,116 @@
+// PHY timing: the classic 802.11b/a constants and frame airtimes every
+// other layer depends on.
+#include <gtest/gtest.h>
+
+#include "src/mac/durations.h"
+#include "src/phy/wifi_params.h"
+
+namespace g80211 {
+namespace {
+
+TEST(WifiParams80211b, TimingConstants) {
+  const WifiParams p = WifiParams::b11();
+  EXPECT_EQ(p.slot, microseconds(20));
+  EXPECT_EQ(p.sifs, microseconds(10));
+  EXPECT_EQ(p.difs, microseconds(50));
+  EXPECT_EQ(p.plcp, microseconds(192));
+  EXPECT_EQ(p.cw_min, 31);
+  EXPECT_EQ(p.cw_max, 1023);
+}
+
+TEST(WifiParams80211b, ClassicControlFrameAirtimes) {
+  const WifiParams p = WifiParams::b11();
+  // 192 us preamble + 14 B at 1 Mbps = 304 us (the canonical ACK time).
+  EXPECT_EQ(p.ack_tx_time(), microseconds(304));
+  EXPECT_EQ(p.cts_tx_time(), microseconds(304));
+  // 192 + 20 B at 1 Mbps = 352 us.
+  EXPECT_EQ(p.rts_tx_time(), microseconds(352));
+}
+
+TEST(WifiParams80211b, DataAirtime) {
+  const WifiParams p = WifiParams::b11();
+  // 1064-byte packet + 28 B MAC overhead at 11 Mbps + 192 us PLCP.
+  const Time t = p.data_tx_time(1064);
+  EXPECT_EQ(t, microseconds(192) + tx_time(8 * (1064 + 28), 11.0));
+  EXPECT_GT(t, microseconds(900));
+  EXPECT_LT(t, microseconds(1100));
+}
+
+TEST(WifiParams80211b, EifsFormula) {
+  const WifiParams p = WifiParams::b11();
+  EXPECT_EQ(p.eifs(), p.sifs + p.ack_tx_time() + p.difs);
+  EXPECT_EQ(p.eifs(), microseconds(364));
+}
+
+TEST(WifiParams80211b, TimeoutsCoverResponse) {
+  const WifiParams p = WifiParams::b11();
+  EXPECT_GT(p.cts_timeout(), p.sifs + p.cts_tx_time());
+  EXPECT_GT(p.ack_timeout(), p.sifs + p.ack_tx_time());
+}
+
+TEST(WifiParams80211a, TimingConstants) {
+  const WifiParams p = WifiParams::a6();
+  EXPECT_EQ(p.slot, microseconds(9));
+  EXPECT_EQ(p.sifs, microseconds(16));
+  EXPECT_EQ(p.difs, microseconds(34));
+  EXPECT_EQ(p.plcp, microseconds(20));
+  EXPECT_EQ(p.cw_min, 15);
+}
+
+TEST(WifiParams80211a, OfdmSymbolQuantisation) {
+  const WifiParams p = WifiParams::a6();
+  // ACK: 16 + 14*8 + 6 = 134 bits over 24 bits/symbol -> 6 symbols = 24 us,
+  // plus 20 us preamble = 44 us (the standard's canonical value).
+  EXPECT_EQ(p.ack_tx_time(), microseconds(44));
+  // RTS: 16 + 160 + 6 = 182 bits -> 8 symbols = 32 us + 20 = 52 us.
+  EXPECT_EQ(p.rts_tx_time(), microseconds(52));
+}
+
+TEST(WifiParams80211a, AirtimeIsMultipleOfSymbol) {
+  const WifiParams p = WifiParams::a6();
+  for (int bytes : {0, 1, 23, 100, 1024, 1500}) {
+    const Time t = p.data_tx_time(bytes) - p.plcp;
+    EXPECT_EQ(t % microseconds(4), 0) << "payload " << bytes;
+  }
+}
+
+TEST(WifiParams, SameFrameFasterOn11aThan11bControl) {
+  // 802.11a control frames are much faster (6 Mbps + short preamble vs
+  // 1 Mbps + 192 us preamble) — the reason the paper finds NAV inflation
+  // more damaging on 802.11a.
+  EXPECT_LT(WifiParams::a6().ack_tx_time(), WifiParams::b11().ack_tx_time());
+  EXPECT_LT(WifiParams::a6().rts_tx_time(), WifiParams::b11().rts_tx_time());
+}
+
+TEST(Durations, StandardExchangeArithmetic) {
+  const WifiParams p = WifiParams::b11();
+  const int pkt = 1064;
+  const Time rts = Durations::rts(p, pkt);
+  EXPECT_EQ(rts, 3 * p.sifs + p.cts_tx_time() + p.data_tx_time(pkt) + p.ack_tx_time());
+  EXPECT_EQ(Durations::cts_from_rts(p, rts), rts - p.sifs - p.cts_tx_time());
+  EXPECT_EQ(Durations::cts(p, pkt), Durations::cts_from_rts(p, rts));
+  EXPECT_EQ(Durations::data(p), p.sifs + p.ack_tx_time());
+  EXPECT_EQ(Durations::ack(), 0);
+}
+
+TEST(Durations, CtsFromRtsNeverNegative) {
+  const WifiParams p = WifiParams::b11();
+  EXPECT_EQ(Durations::cts_from_rts(p, 0), 0);
+  EXPECT_EQ(Durations::cts_from_rts(p, microseconds(1)), 0);
+}
+
+TEST(Durations, MtuBoundsDominateRealExchanges) {
+  for (const WifiParams& p : {WifiParams::b11(), WifiParams::a6()}) {
+    EXPECT_GE(Durations::max_cts(p), Durations::cts(p, 1064));
+    EXPECT_GE(Durations::max_rts(p), Durations::rts(p, 1064));
+    // But the bound is finite and far below the NAV maximum.
+    EXPECT_LT(Durations::max_rts(p), WifiParams::kMaxNav);
+  }
+}
+
+TEST(Durations, MaxNavIs15BitMicroseconds) {
+  EXPECT_EQ(WifiParams::kMaxNav, microseconds(32767));
+}
+
+}  // namespace
+}  // namespace g80211
