@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eifs.dir/bench_ablation_eifs.cc.o"
+  "CMakeFiles/bench_ablation_eifs.dir/bench_ablation_eifs.cc.o.d"
+  "bench_ablation_eifs"
+  "bench_ablation_eifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rtscts.dir/bench_ablation_rtscts.cc.o"
+  "CMakeFiles/bench_ablation_rtscts.dir/bench_ablation_rtscts.cc.o.d"
+  "bench_ablation_rtscts"
+  "bench_ablation_rtscts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rtscts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

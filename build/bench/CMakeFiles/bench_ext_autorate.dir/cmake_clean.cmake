@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_autorate.dir/bench_ext_autorate.cc.o"
+  "CMakeFiles/bench_ext_autorate.dir/bench_ext_autorate.cc.o.d"
+  "bench_ext_autorate"
+  "bench_ext_autorate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_autorate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

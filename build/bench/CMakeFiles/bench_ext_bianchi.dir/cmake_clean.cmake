@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bianchi.dir/bench_ext_bianchi.cc.o"
+  "CMakeFiles/bench_ext_bianchi.dir/bench_ext_bianchi.cc.o.d"
+  "bench_ext_bianchi"
+  "bench_ext_bianchi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bianchi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_greedy_sender.dir/bench_ext_greedy_sender.cc.o"
+  "CMakeFiles/bench_ext_greedy_sender.dir/bench_ext_greedy_sender.cc.o.d"
+  "bench_ext_greedy_sender"
+  "bench_ext_greedy_sender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_greedy_sender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_simperf.dir/bench_ext_simperf.cc.o"
+  "CMakeFiles/bench_ext_simperf.dir/bench_ext_simperf.cc.o.d"
+  "bench_ext_simperf"
+  "bench_ext_simperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_simperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_shared_sender.dir/bench_fig10_shared_sender.cc.o"
+  "CMakeFiles/bench_fig10_shared_sender.dir/bench_fig10_shared_sender.cc.o.d"
+  "bench_fig10_shared_sender"
+  "bench_fig10_shared_sender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_shared_sender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_spoof_ber.dir/bench_fig11_spoof_ber.cc.o"
+  "CMakeFiles/bench_fig11_spoof_ber.dir/bench_fig11_spoof_ber.cc.o.d"
+  "bench_fig11_spoof_ber"
+  "bench_fig11_spoof_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_spoof_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

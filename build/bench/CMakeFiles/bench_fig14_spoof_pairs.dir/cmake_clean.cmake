@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_spoof_pairs.dir/bench_fig14_spoof_pairs.cc.o"
+  "CMakeFiles/bench_fig14_spoof_pairs.dir/bench_fig14_spoof_pairs.cc.o.d"
+  "bench_fig14_spoof_pairs"
+  "bench_fig14_spoof_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_spoof_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

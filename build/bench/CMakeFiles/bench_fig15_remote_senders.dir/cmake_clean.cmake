@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_remote_senders.dir/bench_fig15_remote_senders.cc.o"
+  "CMakeFiles/bench_fig15_remote_senders.dir/bench_fig15_remote_senders.cc.o.d"
+  "bench_fig15_remote_senders"
+  "bench_fig15_remote_senders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_remote_senders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_remote_gp.dir/bench_fig16_remote_gp.cc.o"
+  "CMakeFiles/bench_fig16_remote_gp.dir/bench_fig16_remote_gp.cc.o.d"
+  "bench_fig16_remote_gp"
+  "bench_fig16_remote_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_remote_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_spoof_udp.dir/bench_fig17_spoof_udp.cc.o"
+  "CMakeFiles/bench_fig17_spoof_udp.dir/bench_fig17_spoof_udp.cc.o.d"
+  "bench_fig17_spoof_udp"
+  "bench_fig17_spoof_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_spoof_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

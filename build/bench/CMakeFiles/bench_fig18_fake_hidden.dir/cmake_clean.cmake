@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_fake_hidden.dir/bench_fig18_fake_hidden.cc.o"
+  "CMakeFiles/bench_fig18_fake_hidden.dir/bench_fig18_fake_hidden.cc.o.d"
+  "bench_fig18_fake_hidden"
+  "bench_fig18_fake_hidden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_fake_hidden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_udp_cts_nav.dir/bench_fig1_udp_cts_nav.cc.o"
+  "CMakeFiles/bench_fig1_udp_cts_nav.dir/bench_fig1_udp_cts_nav.cc.o.d"
+  "bench_fig1_udp_cts_nav"
+  "bench_fig1_udp_cts_nav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_udp_cts_nav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_grc_nav.dir/bench_fig23_grc_nav.cc.o"
+  "CMakeFiles/bench_fig23_grc_nav.dir/bench_fig23_grc_nav.cc.o.d"
+  "bench_fig23_grc_nav"
+  "bench_fig23_grc_nav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_grc_nav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_grc_spoof.dir/bench_fig24_grc_spoof.cc.o"
+  "CMakeFiles/bench_fig24_grc_spoof.dir/bench_fig24_grc_spoof.cc.o.d"
+  "bench_fig24_grc_spoof"
+  "bench_fig24_grc_spoof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_grc_spoof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

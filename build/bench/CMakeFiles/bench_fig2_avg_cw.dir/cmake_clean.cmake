@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_avg_cw.dir/bench_fig2_avg_cw.cc.o"
+  "CMakeFiles/bench_fig2_avg_cw.dir/bench_fig2_avg_cw.cc.o.d"
+  "bench_fig2_avg_cw"
+  "bench_fig2_avg_cw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_avg_cw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

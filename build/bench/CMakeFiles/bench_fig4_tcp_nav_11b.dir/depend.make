@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_tcp_nav_11b.
+# This may be replaced when dependencies are built.

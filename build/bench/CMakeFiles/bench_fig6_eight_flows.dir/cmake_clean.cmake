@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_eight_flows.dir/bench_fig6_eight_flows.cc.o"
+  "CMakeFiles/bench_fig6_eight_flows.dir/bench_fig6_eight_flows.cc.o.d"
+  "bench_fig6_eight_flows"
+  "bench_fig6_eight_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_eight_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_greedy_pct.dir/bench_fig7_greedy_pct.cc.o"
+  "CMakeFiles/bench_fig7_greedy_pct.dir/bench_fig7_greedy_pct.cc.o.d"
+  "bench_fig7_greedy_pct"
+  "bench_fig7_greedy_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_greedy_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

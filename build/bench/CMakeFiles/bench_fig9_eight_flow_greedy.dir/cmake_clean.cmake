@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_eight_flow_greedy.dir/bench_fig9_eight_flow_greedy.cc.o"
+  "CMakeFiles/bench_fig9_eight_flow_greedy.dir/bench_fig9_eight_flow_greedy.cc.o.d"
+  "bench_fig9_eight_flow_greedy"
+  "bench_fig9_eight_flow_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_eight_flow_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

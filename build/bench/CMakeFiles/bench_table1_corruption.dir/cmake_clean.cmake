@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_corruption.dir/bench_table1_corruption.cc.o"
+  "CMakeFiles/bench_table1_corruption.dir/bench_table1_corruption.cc.o.d"
+  "bench_table1_corruption"
+  "bench_table1_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cwnd.dir/bench_table2_cwnd.cc.o"
+  "CMakeFiles/bench_table2_cwnd.dir/bench_table2_cwnd.cc.o.d"
+  "bench_table2_cwnd"
+  "bench_table2_cwnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cwnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

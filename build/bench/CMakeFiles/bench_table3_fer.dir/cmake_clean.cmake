@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_fer.dir/bench_table3_fer.cc.o"
+  "CMakeFiles/bench_table3_fer.dir/bench_table3_fer.cc.o.d"
+  "bench_table3_fer"
+  "bench_table3_fer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

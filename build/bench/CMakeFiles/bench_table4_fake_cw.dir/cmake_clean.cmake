@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fake_cw.dir/bench_table4_fake_cw.cc.o"
+  "CMakeFiles/bench_table4_fake_cw.dir/bench_table4_fake_cw.cc.o.d"
+  "bench_table4_fake_cw"
+  "bench_table4_fake_cw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fake_cw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fake_inherent.dir/bench_table5_fake_inherent.cc.o"
+  "CMakeFiles/bench_table5_fake_inherent.dir/bench_table5_fake_inherent.cc.o.d"
+  "bench_table5_fake_inherent"
+  "bench_table5_fake_inherent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fake_inherent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

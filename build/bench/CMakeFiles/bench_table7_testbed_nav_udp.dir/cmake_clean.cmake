@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_testbed_nav_udp.dir/bench_table7_testbed_nav_udp.cc.o"
+  "CMakeFiles/bench_table7_testbed_nav_udp.dir/bench_table7_testbed_nav_udp.cc.o.d"
+  "bench_table7_testbed_nav_udp"
+  "bench_table7_testbed_nav_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_testbed_nav_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

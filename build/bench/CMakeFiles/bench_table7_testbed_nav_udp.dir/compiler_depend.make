@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table7_testbed_nav_udp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_testbed_spoof.dir/bench_table8_testbed_spoof.cc.o"
+  "CMakeFiles/bench_table8_testbed_spoof.dir/bench_table8_testbed_spoof.cc.o.d"
+  "bench_table8_testbed_spoof"
+  "bench_table8_testbed_spoof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_testbed_spoof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_testbed_fake.dir/bench_table9_testbed_fake.cc.o"
+  "CMakeFiles/bench_table9_testbed_fake.dir/bench_table9_testbed_fake.cc.o.d"
+  "bench_table9_testbed_fake"
+  "bench_table9_testbed_fake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_testbed_fake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_timeline.dir/campus_timeline.cpp.o"
+  "CMakeFiles/campus_timeline.dir/campus_timeline.cpp.o.d"
+  "campus_timeline"
+  "campus_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

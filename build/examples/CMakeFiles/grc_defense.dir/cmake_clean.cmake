@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grc_defense.dir/grc_defense.cpp.o"
+  "CMakeFiles/grc_defense.dir/grc_defense.cpp.o.d"
+  "grc_defense"
+  "grc_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grc_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_attacks.dir/hotspot_attacks.cpp.o"
+  "CMakeFiles/hotspot_attacks.dir/hotspot_attacks.cpp.o.d"
+  "hotspot_attacks"
+  "hotspot_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

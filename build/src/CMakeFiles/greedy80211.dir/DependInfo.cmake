@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bianchi.cc" "src/CMakeFiles/greedy80211.dir/analysis/bianchi.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/analysis/bianchi.cc.o.d"
+  "/root/repo/src/analysis/fer.cc" "src/CMakeFiles/greedy80211.dir/analysis/fer.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/analysis/fer.cc.o.d"
+  "/root/repo/src/analysis/nav_model.cc" "src/CMakeFiles/greedy80211.dir/analysis/nav_model.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/analysis/nav_model.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/CMakeFiles/greedy80211.dir/analysis/stats.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/analysis/stats.cc.o.d"
+  "/root/repo/src/detect/backoff_monitor.cc" "src/CMakeFiles/greedy80211.dir/detect/backoff_monitor.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/detect/backoff_monitor.cc.o.d"
+  "/root/repo/src/detect/cross_layer_detector.cc" "src/CMakeFiles/greedy80211.dir/detect/cross_layer_detector.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/detect/cross_layer_detector.cc.o.d"
+  "/root/repo/src/detect/fake_ack_detector.cc" "src/CMakeFiles/greedy80211.dir/detect/fake_ack_detector.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/detect/fake_ack_detector.cc.o.d"
+  "/root/repo/src/detect/locator.cc" "src/CMakeFiles/greedy80211.dir/detect/locator.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/detect/locator.cc.o.d"
+  "/root/repo/src/detect/nav_validator.cc" "src/CMakeFiles/greedy80211.dir/detect/nav_validator.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/detect/nav_validator.cc.o.d"
+  "/root/repo/src/detect/rssi_monitor.cc" "src/CMakeFiles/greedy80211.dir/detect/rssi_monitor.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/detect/rssi_monitor.cc.o.d"
+  "/root/repo/src/detect/spoof_detector.cc" "src/CMakeFiles/greedy80211.dir/detect/spoof_detector.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/detect/spoof_detector.cc.o.d"
+  "/root/repo/src/greedy/ack_spoofing.cc" "src/CMakeFiles/greedy80211.dir/greedy/ack_spoofing.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/greedy/ack_spoofing.cc.o.d"
+  "/root/repo/src/greedy/cts_jammer.cc" "src/CMakeFiles/greedy80211.dir/greedy/cts_jammer.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/greedy/cts_jammer.cc.o.d"
+  "/root/repo/src/greedy/fake_ack.cc" "src/CMakeFiles/greedy80211.dir/greedy/fake_ack.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/greedy/fake_ack.cc.o.d"
+  "/root/repo/src/greedy/nav_inflation.cc" "src/CMakeFiles/greedy80211.dir/greedy/nav_inflation.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/greedy/nav_inflation.cc.o.d"
+  "/root/repo/src/mac/backoff.cc" "src/CMakeFiles/greedy80211.dir/mac/backoff.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/mac/backoff.cc.o.d"
+  "/root/repo/src/mac/dedup.cc" "src/CMakeFiles/greedy80211.dir/mac/dedup.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/mac/dedup.cc.o.d"
+  "/root/repo/src/mac/durations.cc" "src/CMakeFiles/greedy80211.dir/mac/durations.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/mac/durations.cc.o.d"
+  "/root/repo/src/mac/frame.cc" "src/CMakeFiles/greedy80211.dir/mac/frame.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/mac/frame.cc.o.d"
+  "/root/repo/src/mac/mac.cc" "src/CMakeFiles/greedy80211.dir/mac/mac.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/mac/mac.cc.o.d"
+  "/root/repo/src/mac/rate_control.cc" "src/CMakeFiles/greedy80211.dir/mac/rate_control.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/mac/rate_control.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/CMakeFiles/greedy80211.dir/net/node.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/net/node.cc.o.d"
+  "/root/repo/src/net/queue.cc" "src/CMakeFiles/greedy80211.dir/net/queue.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/net/queue.cc.o.d"
+  "/root/repo/src/net/wired_link.cc" "src/CMakeFiles/greedy80211.dir/net/wired_link.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/net/wired_link.cc.o.d"
+  "/root/repo/src/phy/channel.cc" "src/CMakeFiles/greedy80211.dir/phy/channel.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/phy/channel.cc.o.d"
+  "/root/repo/src/phy/error_model.cc" "src/CMakeFiles/greedy80211.dir/phy/error_model.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/phy/error_model.cc.o.d"
+  "/root/repo/src/phy/phy.cc" "src/CMakeFiles/greedy80211.dir/phy/phy.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/phy/phy.cc.o.d"
+  "/root/repo/src/phy/propagation.cc" "src/CMakeFiles/greedy80211.dir/phy/propagation.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/phy/propagation.cc.o.d"
+  "/root/repo/src/phy/wifi_params.cc" "src/CMakeFiles/greedy80211.dir/phy/wifi_params.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/phy/wifi_params.cc.o.d"
+  "/root/repo/src/rssi/rssi_trace.cc" "src/CMakeFiles/greedy80211.dir/rssi/rssi_trace.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/rssi/rssi_trace.cc.o.d"
+  "/root/repo/src/scenario/experiment.cc" "src/CMakeFiles/greedy80211.dir/scenario/experiment.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/scenario/experiment.cc.o.d"
+  "/root/repo/src/scenario/scenario.cc" "src/CMakeFiles/greedy80211.dir/scenario/scenario.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/scenario/scenario.cc.o.d"
+  "/root/repo/src/scenario/topology.cc" "src/CMakeFiles/greedy80211.dir/scenario/topology.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/scenario/topology.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/greedy80211.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/greedy80211.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/greedy80211.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/sim/trace.cc.o.d"
+  "/root/repo/src/transport/cbr.cc" "src/CMakeFiles/greedy80211.dir/transport/cbr.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/transport/cbr.cc.o.d"
+  "/root/repo/src/transport/tcp_sender.cc" "src/CMakeFiles/greedy80211.dir/transport/tcp_sender.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/transport/tcp_sender.cc.o.d"
+  "/root/repo/src/transport/tcp_sink.cc" "src/CMakeFiles/greedy80211.dir/transport/tcp_sink.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/transport/tcp_sink.cc.o.d"
+  "/root/repo/src/transport/udp_sink.cc" "src/CMakeFiles/greedy80211.dir/transport/udp_sink.cc.o" "gcc" "src/CMakeFiles/greedy80211.dir/transport/udp_sink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

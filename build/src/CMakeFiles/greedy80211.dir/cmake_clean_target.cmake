@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgreedy80211.a"
+)

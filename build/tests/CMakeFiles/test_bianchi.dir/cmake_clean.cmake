@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bianchi.dir/test_bianchi.cc.o"
+  "CMakeFiles/test_bianchi.dir/test_bianchi.cc.o.d"
+  "test_bianchi"
+  "test_bianchi.pdb"
+  "test_bianchi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bianchi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broadcast_dos.dir/test_broadcast_dos.cc.o"
+  "CMakeFiles/test_broadcast_dos.dir/test_broadcast_dos.cc.o.d"
+  "test_broadcast_dos"
+  "test_broadcast_dos.pdb"
+  "test_broadcast_dos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broadcast_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composite_policy.dir/test_composite_policy.cc.o"
+  "CMakeFiles/test_composite_policy.dir/test_composite_policy.cc.o.d"
+  "test_composite_policy"
+  "test_composite_policy.pdb"
+  "test_composite_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composite_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_extra.dir/test_detect_extra.cc.o"
+  "CMakeFiles/test_detect_extra.dir/test_detect_extra.cc.o.d"
+  "test_detect_extra"
+  "test_detect_extra.pdb"
+  "test_detect_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_model.dir/test_error_model.cc.o"
+  "CMakeFiles/test_error_model.dir/test_error_model.cc.o.d"
+  "test_error_model"
+  "test_error_model.pdb"
+  "test_error_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_scenarios.dir/test_fuzz_scenarios.cc.o"
+  "CMakeFiles/test_fuzz_scenarios.dir/test_fuzz_scenarios.cc.o.d"
+  "test_fuzz_scenarios"
+  "test_fuzz_scenarios.pdb"
+  "test_fuzz_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy_policies.dir/test_greedy_policies.cc.o"
+  "CMakeFiles/test_greedy_policies.dir/test_greedy_policies.cc.o.d"
+  "test_greedy_policies"
+  "test_greedy_policies.pdb"
+  "test_greedy_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_grc.dir/test_integration_grc.cc.o"
+  "CMakeFiles/test_integration_grc.dir/test_integration_grc.cc.o.d"
+  "test_integration_grc"
+  "test_integration_grc.pdb"
+  "test_integration_grc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_grc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_misbehavior.dir/test_integration_misbehavior.cc.o"
+  "CMakeFiles/test_integration_misbehavior.dir/test_integration_misbehavior.cc.o.d"
+  "test_integration_misbehavior"
+  "test_integration_misbehavior.pdb"
+  "test_integration_misbehavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_misbehavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac_extra.dir/test_mac_extra.cc.o"
+  "CMakeFiles/test_mac_extra.dir/test_mac_extra.cc.o.d"
+  "test_mac_extra"
+  "test_mac_extra.pdb"
+  "test_mac_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

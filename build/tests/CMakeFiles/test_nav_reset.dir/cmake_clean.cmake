@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nav_reset.dir/test_nav_reset.cc.o"
+  "CMakeFiles/test_nav_reset.dir/test_nav_reset.cc.o.d"
+  "test_nav_reset"
+  "test_nav_reset.pdb"
+  "test_nav_reset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nav_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_extra.dir/test_phy_extra.cc.o"
+  "CMakeFiles/test_phy_extra.dir/test_phy_extra.cc.o.d"
+  "test_phy_extra"
+  "test_phy_extra.pdb"
+  "test_phy_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_g.dir/test_phy_g.cc.o"
+  "CMakeFiles/test_phy_g.dir/test_phy_g.cc.o.d"
+  "test_phy_g"
+  "test_phy_g.pdb"
+  "test_phy_g[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rssi_study.dir/test_rssi_study.cc.o"
+  "CMakeFiles/test_rssi_study.dir/test_rssi_study.cc.o.d"
+  "test_rssi_study"
+  "test_rssi_study.pdb"
+  "test_rssi_study[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rssi_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sender_side.dir/test_sender_side.cc.o"
+  "CMakeFiles/test_sender_side.dir/test_sender_side.cc.o.d"
+  "test_sender_side"
+  "test_sender_side.pdb"
+  "test_sender_side[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sender_side.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_model.dir/test_tcp_model.cc.o"
+  "CMakeFiles/test_tcp_model.dir/test_tcp_model.cc.o.d"
+  "test_tcp_model"
+  "test_tcp_model.pdb"
+  "test_tcp_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_extra.dir/test_transport_extra.cc.o"
+  "CMakeFiles/test_transport_extra.dir/test_transport_extra.cc.o.d"
+  "test_transport_extra"
+  "test_transport_extra.pdb"
+  "test_transport_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi_params.dir/test_wifi_params.cc.o"
+  "CMakeFiles/test_wifi_params.dir/test_wifi_params.cc.o.d"
+  "test_wifi_params"
+  "test_wifi_params.pdb"
+  "test_wifi_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

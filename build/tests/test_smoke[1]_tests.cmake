@@ -1,0 +1,3 @@
+add_test([=[Smoke.TwoHonestUdpPairsShareFairly]=]  /root/repo/build/tests/test_smoke [==[--gtest_filter=Smoke.TwoHonestUdpPairsShareFairly]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Smoke.TwoHonestUdpPairsShareFairly]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] ENVIRONMENT [==[G80211_QUICK=1]==])
+set(  test_smoke_TESTS Smoke.TwoHonestUdpPairsShareFairly)
