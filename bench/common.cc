@@ -141,6 +141,44 @@ HiddenResult run_hidden(const HiddenSpec& spec, std::uint64_t seed) {
   return out;
 }
 
+CampaignJob pairs_goodput_job(std::string label, double x, PairsSpec spec,
+                              int runs, std::uint64_t base_seed) {
+  CampaignJob job;
+  job.label = std::move(label);
+  job.x = x;
+  job.base_seed = base_seed;
+  job.runs = runs;
+  job.body = [spec = std::move(spec)](std::uint64_t seed) {
+    return run_pairs(spec, seed).goodput_mbps;
+  };
+  return job;
+}
+
+CampaignJob shared_ap_goodput_job(std::string label, double x,
+                                  SharedApSpec spec, int runs,
+                                  std::uint64_t base_seed) {
+  CampaignJob job;
+  job.label = std::move(label);
+  job.x = x;
+  job.base_seed = base_seed;
+  job.runs = runs;
+  job.body = [spec = std::move(spec)](std::uint64_t seed) {
+    return run_shared_ap(spec, seed).goodput_mbps;
+  };
+  return job;
+}
+
+void print_points(const TableWriter& table,
+                  const std::vector<CampaignPoint>& points) {
+  for (const auto& pt : points) {
+    std::vector<double> row;
+    row.reserve(pt.median.size() + 1);
+    row.push_back(pt.x);
+    row.insert(row.end(), pt.median.begin(), pt.median.end());
+    table.print_row(row);
+  }
+}
+
 void register_once(const char* name,
                    const std::function<void(benchmark::State&)>& fn) {
   benchmark::RegisterBenchmark(name, [fn](benchmark::State& state) {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/runner/campaign.h"
 #include "src/scenario/experiment.h"
 #include "src/scenario/scenario.h"
 #include "src/scenario/topology.h"
@@ -103,6 +104,29 @@ struct HiddenResult {
 };
 
 HiddenResult run_hidden(const HiddenSpec& spec, std::uint64_t seed);
+
+// --- Campaign integration ----------------------------------------------------
+//
+// Sweep jobs for the parallel campaign runner (src/runner/campaign.h).
+// Each job captures its spec *by value*, so the body is a pure function of
+// the seed and safe to run on any worker thread; spec.customize must
+// likewise capture its sweep parameters by value, never by reference to a
+// loop variable.
+
+// Goodput-per-flow job over run_pairs.
+CampaignJob pairs_goodput_job(std::string label, double x, PairsSpec spec,
+                              int runs, std::uint64_t base_seed);
+
+// Goodput-per-client job over run_shared_ap.
+CampaignJob shared_ap_goodput_job(std::string label, double x,
+                                  SharedApSpec spec, int runs,
+                                  std::uint64_t base_seed);
+
+// Print aggregated campaign points as a paper-style table: the x value in
+// the first column, then the per-metric medians. Call only after
+// Campaign::run, from the main thread.
+void print_points(const TableWriter& table,
+                  const std::vector<CampaignPoint>& points);
 
 // Register a benchmark that runs `fn` exactly once and reports its
 // wall-clock; `fn` may set counters on the state.

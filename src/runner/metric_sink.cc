@@ -1,0 +1,84 @@
+#include "src/runner/metric_sink.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+namespace g80211 {
+namespace {
+
+// Escape for both JSON strings and quoted CSV cells (labels are plain
+// sweep-axis values; this just keeps odd characters from corrupting rows).
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_dir() {
+  const char* v = std::getenv("G80211_METRICS_DIR");
+  return (v != nullptr) ? std::string(v) : std::string();
+}
+
+unsigned job_count() {
+  if (const char* v = std::getenv("G80211_JOBS"); v != nullptr && v[0] != '\0') {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+MetricSink::MetricSink(const std::string& figure) {
+  const std::string dir = metrics_dir();
+  if (dir.empty() || figure.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+  const std::string stem = dir + "/" + figure;
+  jsonl_ = std::fopen((stem + ".jsonl").c_str(), "w");
+  if (jsonl_ == nullptr) return;
+  csv_ = std::fopen((stem + ".csv").c_str(), "w");
+  if (csv_ == nullptr) {
+    std::fclose(jsonl_);
+    jsonl_ = nullptr;
+    return;
+  }
+  std::fprintf(csv_, "figure,label,metric,median,p25,p75,n_runs,seed,wall_ms\n");
+}
+
+MetricSink::~MetricSink() {
+  if (jsonl_ != nullptr) std::fclose(jsonl_);
+  if (csv_ != nullptr) std::fclose(csv_);
+}
+
+void MetricSink::write(const MetricRow& row) {
+  if (!enabled()) return;
+  // %.17g round-trips doubles exactly, so equal values always serialize to
+  // equal bytes (the determinism contract benches are checked against).
+  std::fprintf(jsonl_,
+               "{\"figure\":\"%s\",\"label\":\"%s\",\"metric\":\"%s\","
+               "\"median\":%.17g,\"p25\":%.17g,\"p75\":%.17g,"
+               "\"n_runs\":%d,\"seed\":%" PRIu64 ",\"wall_ms\":%.3f}\n",
+               escaped(row.figure).c_str(), escaped(row.label).c_str(),
+               escaped(row.metric).c_str(), row.median, row.p25, row.p75,
+               row.n_runs, row.seed, row.wall_ms);
+  std::fprintf(csv_, "%s,\"%s\",%s,%.17g,%.17g,%.17g,%d,%" PRIu64 ",%.3f\n",
+               escaped(row.figure).c_str(), escaped(row.label).c_str(),
+               escaped(row.metric).c_str(), row.median, row.p25, row.p75,
+               row.n_runs, row.seed, row.wall_ms);
+}
+
+}  // namespace g80211

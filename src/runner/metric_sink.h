@@ -1,0 +1,68 @@
+// Structured metric export for campaign results.
+//
+// Alongside the human-readable TableWriter tables on stdout, every named
+// campaign can emit machine-readable results: one JSON-lines file and one
+// CSV file per figure, written to the directory named by the
+// G80211_METRICS_DIR environment variable (created if missing). When the
+// variable is unset the sink is disabled and writes are no-ops, so benches
+// pay nothing by default.
+//
+// Row schema (one row per aggregated point per metric):
+//   figure   campaign name, also the file stem ("fig1_udp_cts_nav")
+//   label    point label on the sweep axis ("0.6")
+//   metric   metric name ("greedy_mbps")
+//   median   median over the point's seeded runs
+//   p25/p75  25th/75th percentile over the runs
+//   n_runs   number of seeded runs aggregated
+//   seed     base seed of the point (runs use seed, seed+1, ...)
+//   wall_ms  summed wall-clock of the point's runs (the only field that is
+//            not bit-identical across repeats/thread counts)
+//
+// All writes happen on the campaign's aggregation thread, in job order;
+// the sink itself is not thread-safe and does not need to be.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace g80211 {
+
+// Directory named by G80211_METRICS_DIR, or empty if unset/empty.
+std::string metrics_dir();
+
+// Worker count for campaigns: G80211_JOBS if set (>= 1), otherwise
+// std::thread::hardware_concurrency().
+unsigned job_count();
+
+struct MetricRow {
+  std::string figure;
+  std::string label;
+  std::string metric;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  int n_runs = 0;
+  std::uint64_t seed = 0;
+  double wall_ms = 0.0;
+};
+
+class MetricSink {
+ public:
+  // Opens <dir>/<figure>.jsonl and <dir>/<figure>.csv (truncating) when
+  // G80211_METRICS_DIR is set; otherwise returns a disabled sink.
+  explicit MetricSink(const std::string& figure);
+  ~MetricSink();
+
+  MetricSink(const MetricSink&) = delete;
+  MetricSink& operator=(const MetricSink&) = delete;
+
+  bool enabled() const { return jsonl_ != nullptr; }
+  void write(const MetricRow& row);
+
+ private:
+  std::FILE* jsonl_ = nullptr;
+  std::FILE* csv_ = nullptr;
+};
+
+}  // namespace g80211

@@ -1,0 +1,80 @@
+#include "src/runner/thread_pool.h"
+
+#include <utility>
+
+namespace g80211 {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this](std::stop_token stop) { worker_loop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+  for (auto& w : workers_) w.request_stop();
+  work_cv_.notify_all();
+  // jthread destructors join.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    Task t{next_seq_++, std::move(task)};
+    run_task(t);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(Task{next_seq_++, std::move(task)});
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::run_task(const Task& task) {
+  try {
+    task.fn();
+  } catch (...) {
+    std::lock_guard lock(mu_);
+    if (!first_error_ || task.seq < first_error_seq_) {
+      first_error_ = std::current_exception();
+      first_error_seq_ = task.seq;
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::stop_token stop) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] { return !queue_.empty() || stop.stop_requested(); });
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    run_task(task);
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    first_error_seq_ = 0;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace g80211

@@ -1,0 +1,66 @@
+// Fixed-size worker pool for the campaign runner.
+//
+// Deliberately minimal: a single FIFO queue, a fixed number of
+// std::jthread workers, no work stealing — simulation jobs are seconds of
+// simulated traffic each, so queue contention is irrelevant and a simple
+// pool keeps the execution model easy to reason about. Exceptions thrown
+// by tasks are captured and rethrown from wait(): when several tasks fail,
+// the one that was *submitted* earliest wins, so error reporting does not
+// depend on scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace g80211 {
+
+class ThreadPool {
+ public:
+  // `threads` workers; 0 runs every task inline in submit() on the calling
+  // thread (the single-threaded determinism reference — no worker threads
+  // are created at all).
+  explicit ThreadPool(unsigned threads);
+  // Joins workers; pending tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueue a task (runs it immediately when size() == 0). Tasks must not
+  // call submit() or wait() on their own pool.
+  void submit(std::function<void()> task);
+
+  // Block until the queue is empty and all workers are idle. If any task
+  // threw since the last wait(), rethrows the exception of the
+  // earliest-submitted failing task (remaining captures are dropped).
+  void wait();
+
+ private:
+  struct Task {
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+
+  void worker_loop(std::stop_token stop);
+  void run_task(const Task& task);  // executes + captures exceptions
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stop
+  std::condition_variable idle_cv_;   // wait(): queue empty && none active
+  std::deque<Task> queue_;
+  unsigned active_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t first_error_seq_ = 0;
+  std::exception_ptr first_error_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace g80211

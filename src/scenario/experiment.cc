@@ -1,10 +1,10 @@
 #include "src/scenario/experiment.h"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
-#include "src/analysis/stats.h"
+#include "src/runner/campaign.h"
 
 namespace g80211 {
 
@@ -20,20 +20,17 @@ Time default_measure() { return quick_mode() ? seconds(2) : seconds(10); }
 std::vector<double> median_over_seeds(
     int runs, std::uint64_t base_seed,
     const std::function<std::vector<double>(std::uint64_t)>& fn) {
-  assert(runs > 0);
-  std::vector<std::vector<double>> per_metric;
-  for (int r = 0; r < runs; ++r) {
-    const std::vector<double> metrics = fn(base_seed + static_cast<std::uint64_t>(r));
-    if (per_metric.empty()) per_metric.resize(metrics.size());
-    assert(metrics.size() == per_metric.size());
-    for (std::size_t i = 0; i < metrics.size(); ++i) {
-      per_metric[i].push_back(metrics[i]);
-    }
+  if (runs <= 0) {
+    throw std::invalid_argument("median_over_seeds: runs must be > 0, got " +
+                                std::to_string(runs));
   }
-  std::vector<double> medians;
-  medians.reserve(per_metric.size());
-  for (auto& samples : per_metric) medians.push_back(median(samples));
-  return medians;
+  // One anonymous single-point campaign: seeds fan out across the worker
+  // pool (G80211_JOBS), aggregation stays in seed order. Metric-size
+  // mismatches between runs throw from Campaign::run, in Release builds
+  // too.
+  Campaign campaign("", {});
+  campaign.add("", 0.0, base_seed, runs, fn);
+  return campaign.run().at(0).median;
 }
 
 TableWriter::TableWriter(std::vector<std::string> columns, int width)
@@ -50,16 +47,8 @@ void TableWriter::print_header() const {
 
 void TableWriter::print_row(const std::vector<double>& values,
                             const std::string& label) const {
-  std::size_t col = 0;
-  if (!label.empty()) {
-    std::printf("%*s", width_, label.c_str());
-    ++col;
-  }
-  for (const double v : values) {
-    std::printf("%*.4g", width_, v);
-    ++col;
-  }
-  (void)col;
+  if (!label.empty()) std::printf("%*s", width_, label.c_str());
+  for (const double v : values) std::printf("%*.4g", width_, v);
   std::printf("\n");
 }
 

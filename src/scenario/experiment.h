@@ -24,11 +24,21 @@ int default_runs();
 Time default_measure();
 
 // Run `fn` for `runs` seeds derived from `base_seed`; return the
-// element-wise median of the returned metric vectors.
+// element-wise median of the returned metric vectors. Backed by the
+// campaign runner (src/runner/campaign.h): the seeds execute concurrently
+// on the G80211_JOBS worker pool, and the aggregate is seed-ordered so the
+// result is identical at any thread count. `fn` must be a pure function
+// of the seed (it runs on worker threads). Throws std::invalid_argument
+// on runs <= 0 and std::runtime_error when the per-seed metric vectors
+// disagree in size — Release builds fail loudly instead of silently
+// mis-aggregating.
 std::vector<double> median_over_seeds(
     int runs, std::uint64_t base_seed,
     const std::function<std::vector<double>(std::uint64_t)>& fn);
 
+// Fixed-width paper-style table printer. NOT thread-safe: like all stdout
+// output in the harness it must only be used from the aggregation (main)
+// thread, after Campaign::run has returned — never from job bodies.
 class TableWriter {
  public:
   explicit TableWriter(std::vector<std::string> columns, int width = 12);
