@@ -2,19 +2,33 @@
 // scenario sizes — the practical number a user needs to size parameter
 // sweeps. Unlike the per-figure benches (Iterations(1) experiment
 // drivers), these are real google-benchmark timings.
+//
+// A committed baseline lives in BENCH_simperf.json; run
+// bench/compare_simperf.py after touching the engine to catch
+// regressions (>15% fails).
 #include <benchmark/benchmark.h>
 
 #include "bench/common.h"
+#include "src/sim/scheduler.h"
 
 using namespace g80211;
 using namespace g80211::bench;
 
 namespace {
 
+// Simulated seconds covered by one benchmark iteration of `cfg` — derived
+// from the config so changing warmup/measure cannot silently skew the
+// sim_seconds_per_wall_second rate.
+double sim_span_seconds(const SimConfig& cfg) {
+  return to_seconds(cfg.warmup + cfg.measure);
+}
+
 void BM_SaturatedUdpPairs(benchmark::State& state) {
   const int n_pairs = static_cast<int>(state.range(0));
   std::uint64_t seed = 1;
   double total = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t events = 0;
   for (auto _ : state) {
     SimConfig cfg;
     cfg.measure = seconds(1);
@@ -30,16 +44,23 @@ void BM_SaturatedUdpPairs(benchmark::State& state) {
       flows.push_back(sim.add_udp_flow(*senders[i], *receivers[i]));
     }
     sim.run();
+    sim_seconds += sim_span_seconds(cfg);
+    events += sim.scheduler().executed();
     for (const auto& f : flows) total += f.goodput_mbps();
     benchmark::DoNotOptimize(total);
   }
   state.counters["sim_seconds_per_wall_second"] =
-      benchmark::Counter(1.1 * static_cast<double>(state.iterations()),
-                         benchmark::Counter::kIsRate);
+      benchmark::Counter(sim_seconds, benchmark::Counter::kIsRate);
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["events_executed"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kAvgIterations);
 }
 
 void BM_TcpPair(benchmark::State& state) {
   std::uint64_t seed = 1;
+  double sim_seconds = 0.0;
+  std::uint64_t events = 0;
   for (auto _ : state) {
     SimConfig cfg;
     cfg.measure = seconds(1);
@@ -51,15 +72,64 @@ void BM_TcpPair(benchmark::State& state) {
     Node& r = sim.add_node(l.receivers[0]);
     auto f = sim.add_tcp_flow(s, r);
     sim.run();
+    sim_seconds += sim_span_seconds(cfg);
+    events += sim.scheduler().executed();
     benchmark::DoNotOptimize(f.goodput_mbps());
   }
   state.counters["sim_seconds_per_wall_second"] =
-      benchmark::Counter(1.1 * static_cast<double>(state.iterations()),
-                         benchmark::Counter::kIsRate);
+      benchmark::Counter(sim_seconds, benchmark::Counter::kIsRate);
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["events_executed"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kAvgIterations);
+}
+
+// Pure scheduler microbench, no PHY/MAC: the dominant MAC pattern of
+// schedule / cancel / reschedule plus a fired ladder. Measures raw
+// events/sec through the slab + heap with zero steady-state allocation.
+void BM_SchedulerChurn(benchmark::State& state) {
+  Scheduler s;
+  std::uint64_t sink = 0;
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    EventId cancelled[kBatch / 4];
+    int nc = 0;
+    for (int i = 0; i < kBatch; ++i) {
+      EventId id = s.after(microseconds(1 + (i * 7) % 50), [&sink] { ++sink; });
+      if (i % 4 == 0) cancelled[nc++] = id;
+    }
+    for (int i = 0; i < nc; ++i) cancelled[i].cancel();
+    s.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(s.executed()), benchmark::Counter::kIsRate);
+  state.counters["pool_slots"] =
+      benchmark::Counter(static_cast<double>(s.pool_slots()));
+}
+
+// Timer restart churn: the defer/backoff/NAV pattern — start, supersede,
+// fire — exercising the cancel-tombstone path and slot reuse.
+void BM_TimerRestart(benchmark::State& state) {
+  Scheduler s;
+  std::uint64_t fired = 0;
+  Timer t(s, [&fired] { ++fired; });
+  for (auto _ : state) {
+    for (int i = 0; i < 32; ++i) t.start(microseconds(10 + i));
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.counters["restarts_per_second"] = benchmark::Counter(
+      32.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["pool_slots"] =
+      benchmark::Counter(static_cast<double>(s.pool_slots()));
 }
 
 BENCHMARK(BM_SaturatedUdpPairs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TcpPair)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SchedulerChurn)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TimerRestart)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the simulation engine.
+
+Diffs a fresh bench_ext_simperf run against the committed baseline
+(BENCH_simperf.json at the repo root) and fails on slowdowns beyond the
+threshold (default 15%).
+
+Usage:
+    # run the bench binary itself and compare
+    python3 bench/compare_simperf.py build/bench/bench_ext_simperf
+
+    # or compare a pre-recorded --benchmark_format=json output
+    python3 bench/compare_simperf.py fresh.json
+
+    options: --baseline PATH (default: BENCH_simperf.json next to the
+    repo root), --threshold FRACTION (default 0.15)
+
+Exit status: 0 when every benchmark is within threshold, 1 on regression,
+2 on usage/IO errors. Absolute times vary across machines — the gate is
+meant to compare runs on the *same* machine (e.g. before/after a change,
+or CI runners of one type); refresh the baseline with --update after an
+intentional engine change.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_simperf.json")
+
+
+def load_benchmarks(doc):
+    """name -> real_time in ms from a google-benchmark JSON document."""
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+        out[b["name"]] = b["real_time"] * scale
+    return out
+
+
+def fresh_run(path):
+    """Run a bench binary (or read a JSON file) and return its document."""
+    if path.endswith(".json"):
+        with open(path) as f:
+            return json.load(f)
+    cmd = [path, "--benchmark_format=json", "--benchmark_repetitions=1"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"bench run failed: {' '.join(cmd)}")
+    return json.loads(proc.stdout)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("target", help="bench_ext_simperf binary or its JSON output")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max tolerated slowdown fraction (default 0.15)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline's benchmarks with the fresh run")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline_doc = json.load(f)
+        fresh_doc = fresh_run(args.target)
+    except (OSError, RuntimeError, json.JSONDecodeError) as e:
+        print(f"compare_simperf: {e}", file=sys.stderr)
+        return 2
+
+    baseline = load_benchmarks(baseline_doc)
+    fresh = load_benchmarks(fresh_doc)
+
+    if args.update:
+        baseline_doc["benchmarks"] = [
+            b for b in fresh_doc.get("benchmarks", [])
+            if b.get("run_type") != "aggregate"
+        ]
+        with open(args.baseline, "w") as f:
+            json.dump(baseline_doc, f, indent=1)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    regressions = []
+    width = max((len(n) for n in baseline), default=10)
+    print(f"{'benchmark':<{width}}  {'base ms':>10}  {'fresh ms':>10}  {'delta':>8}")
+    for name in sorted(baseline):
+        base = baseline[name]
+        cur = fresh.get(name)
+        if cur is None:
+            print(f"{name:<{width}}  {base:>10.3f}  {'MISSING':>10}  {'':>8}")
+            regressions.append((name, "missing from fresh run"))
+            continue
+        delta = (cur - base) / base
+        flag = ""
+        if delta > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, f"{delta:+.1%} slower"))
+        print(f"{name:<{width}}  {base:>10.3f}  {cur:>10.3f}  {delta:>+7.1%}{flag}")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name:<{width}}  {'(new)':>10}  {fresh[name]:>10.3f}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, why in regressions:
+            print(f"  {name}: {why}", file=sys.stderr)
+        return 1
+    print(f"\nOK: all benchmarks within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

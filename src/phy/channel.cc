@@ -4,18 +4,47 @@
 
 namespace g80211 {
 
+TxRecord* Channel::acquire_record() {
+  if (free_records_.empty()) {
+    records_.push_back(std::make_unique<TxRecord>());
+    return records_.back().get();
+  }
+  TxRecord* rec = free_records_.back();
+  free_records_.pop_back();
+  return rec;
+}
+
+void Channel::release_record(TxRecord* rec) {
+  rec->frame.packet.reset();  // drop the payload ref until the next reuse
+  rec->sensed.clear();
+  free_records_.push_back(rec);
+}
+
 void Channel::transmit(Phy* sender, const Frame& frame, Time airtime) {
   const Time end = sched_->now() + airtime;
-  const std::uint64_t tx_id = next_tx_id_++;
+  TxRecord* rec = acquire_record();
+  rec->frame = frame;
+  rec->end = end;
+  rec->tx_id = next_tx_id_++;
   for (Phy* rx : phys_) {
     if (rx == sender) continue;
     const double d = distance(sender->position(), rx->position());
     if (!sensed_at(d)) continue;
-    const double rss = propagation_.rx_power_w(d);
-    const bool decodable = decodable_at(d);
-    rx->incoming_start(tx_id, frame, rss, end, decodable);
-    sched_->at(end, [rx, tx_id] { rx->incoming_end(tx_id); });
+    rec->sensed.push_back(rx);
+    rx->incoming_start(*rec, propagation_.rx_power_w(d), decodable_at(d));
   }
+  if (rec->sensed.empty()) {
+    release_record(rec);
+    return;
+  }
+  sched_->at(end, [this, rec] { finish(rec); });
+}
+
+void Channel::finish(TxRecord* rec) {
+  // Attach order is insertion order of the old per-receiver end-events, so
+  // receivers observe the end of the frame in exactly the same sequence.
+  for (Phy* rx : rec->sensed) rx->incoming_end(rec->tx_id);
+  release_record(rec);
 }
 
 }  // namespace g80211

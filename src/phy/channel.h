@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/mac/frame.h"
@@ -24,6 +25,20 @@
 namespace g80211 {
 
 class Phy;
+
+// One transmission in flight, shared by every PHY that sensed it. The
+// channel used to hand each receiver its own Frame copy plus its own
+// end-event; now all sensed PHYs reference one record and a single
+// end-event fans the finish out in attach order (identical to the old
+// per-receiver insertion-sequence order, so event ordering is unchanged).
+// Records are pooled by the channel: the Frame assignment reuses the
+// record's storage and only bumps the payload refcount.
+struct TxRecord {
+  Frame frame;
+  Time end = 0;
+  std::uint64_t tx_id = 0;
+  std::vector<Phy*> sensed;  // receivers, in channel attach order
+};
 
 class Channel {
  public:
@@ -61,6 +76,10 @@ class Channel {
   }
 
  private:
+  TxRecord* acquire_record();
+  void release_record(TxRecord* rec);
+  void finish(TxRecord* rec);
+
   Scheduler* sched_;
   WifiParams params_;
   ErrorModel error_model_;
@@ -69,6 +88,11 @@ class Channel {
   double comm_range_m_ = 0;  // <= 0: unlimited
   double cs_range_m_ = 0;    // <= 0: same as comm range
   std::uint64_t next_tx_id_ = 1;
+  // Record pool: records_ owns every record ever created (so teardown with
+  // transmissions still in flight leaks nothing); free_records_ lists the
+  // idle ones. Steady state allocates no new records.
+  std::vector<std::unique_ptr<TxRecord>> records_;
+  std::vector<TxRecord*> free_records_;
 };
 
 }  // namespace g80211

@@ -40,59 +40,73 @@ void Phy::tx_done() {
   notify_edges(/*was_busy=*/true);
 }
 
-void Phy::incoming_start(std::uint64_t tx_id, const Frame& frame, double rss_w,
-                         Time end, bool decodable) {
+const Phy::Ongoing* Phy::find_ongoing(std::uint64_t tx_id) const {
+  for (const Ongoing& o : ongoing_) {
+    if (o.tx_id == tx_id) return &o;
+  }
+  return nullptr;
+}
+
+void Phy::incoming_start(const TxRecord& rec, double rss_w, bool decodable) {
   const bool was_busy = carrier_busy();
   const Time now = channel_->scheduler().now();
-  ongoing_[tx_id] = Ongoing{frame, rss_w, now, end, decodable};
 
   if (!transmitting_) {
     const double cap = channel_->capture_threshold;
     if (current_rx_ == 0) {
       if (decodable) {
-        // Interference from transmissions already in the air.
-        double interference = 0.0;
-        for (const auto& [id, o] : ongoing_) {
-          if (id != tx_id) interference += o.rss_w;
-        }
-        current_rx_ = tx_id;
+        // Interference from transmissions already in the air: the running
+        // sum over ongoing_, maintained instead of rescanned.
+        const double interference = ongoing_power_w_;
+        current_rx_ = rec.tx_id;
         current_collided_ =
             interference > 0.0 && (cap <= 0.0 || rss_w < cap * interference);
       }
     } else {
-      auto& cur = ongoing_.at(current_rx_);
-      if (cap > 0.0 && cur.rss_w >= cap * rss_w) {
+      const Ongoing* cur = find_ongoing(current_rx_);
+      assert(cur != nullptr);
+      if (cap > 0.0 && cur->rss_w >= cap * rss_w) {
         // Current frame powers through; newcomer is just interference.
-      } else if (cap > 0.0 && decodable && rss_w >= cap * cur.rss_w) {
+      } else if (cap > 0.0 && decodable && rss_w >= cap * cur->rss_w) {
         // Newcomer captures the receiver; the old frame is lost.
-        current_rx_ = tx_id;
+        current_rx_ = rec.tx_id;
         current_collided_ = false;
       } else {
         current_collided_ = true;
       }
     }
   }
+  ongoing_.push_back(
+      Ongoing{rec.tx_id, &rec.frame, rss_w, now, rec.end, decodable});
+  ongoing_power_w_ += rss_w;
   notify_edges(was_busy);
 }
 
 void Phy::incoming_end(std::uint64_t tx_id) {
-  const auto it = ongoing_.find(tx_id);
-  assert(it != ongoing_.end());
-  const Ongoing o = it->second;
-  ongoing_.erase(it);
+  std::size_t i = 0;
+  while (i < ongoing_.size() && ongoing_[i].tx_id != tx_id) ++i;
+  assert(i < ongoing_.size());
+  const Ongoing o = ongoing_[i];
+  // Stable erase keeps ongoing_ in ascending-tx_id order.
+  ongoing_.erase(ongoing_.begin() + static_cast<std::ptrdiff_t>(i));
+  ongoing_power_w_ -= o.rss_w;
+  // Exact reset: an empty channel must read exactly zero interference, not
+  // an accumulated floating-point residue.
+  if (ongoing_.empty()) ongoing_power_w_ = 0.0;
 
   if (tx_id == current_rx_ && !transmitting_) {
     const bool collided = current_collided_;
     current_rx_ = 0;
     current_collided_ = false;
 
+    const Frame& frame = *o.frame;
     const ErrorModel& em = channel_->error_model();
-    const double ber = em.ber(o.frame.true_tx, id_);
+    const double ber = em.ber(frame.true_tx, id_);
     // A fragment is only exposed for its own airtime, not the full MSDU's.
-    const int pkt_bytes = o.frame.air_bytes();
-    const int len = ErrorModel::error_len(o.frame.type, pkt_bytes);
+    const int pkt_bytes = frame.air_bytes();
+    const int len = ErrorModel::error_len(frame.type, pkt_bytes);
     const bool bit_errors = rng_.chance(em.frame_error_prob(
-        o.frame.true_tx, id_, o.frame.type, pkt_bytes, o.frame.rate_mbps));
+        frame.true_tx, id_, frame.type, pkt_bytes, frame.rate_mbps));
 
     RxInfo info;
     info.rss_w = o.rss_w;
@@ -111,7 +125,7 @@ void Phy::incoming_end(std::uint64_t tx_id) {
       info.addresses_intact =
           rng_.chance(ErrorModel::addr_intact_given_corrupt(ber, len));
     }
-    if (listener_) listener_->on_rx_end(o.frame, info);
+    if (listener_) listener_->on_rx_end(frame, info);
   } else if (tx_id == current_rx_) {
     current_rx_ = 0;
     current_collided_ = false;

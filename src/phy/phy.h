@@ -14,7 +14,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "src/mac/frame.h"
 #include "src/phy/channel.h"
@@ -49,6 +49,7 @@ class Phy {
  public:
   Phy(Channel& channel, int node_id, Position pos, Rng rng)
       : channel_(&channel), id_(node_id), pos_(pos), rng_(rng) {
+    ongoing_.reserve(8);  // overlap depth rarely exceeds a few frames
     channel.attach(this);
   }
 
@@ -71,9 +72,10 @@ class Phy {
   // in-progress reception is aborted (half duplex).
   void transmit(const Frame& frame, Time airtime);
 
-  // Channel-facing reception path.
-  void incoming_start(std::uint64_t tx_id, const Frame& frame, double rss_w,
-                      Time end, bool decodable);
+  // Channel-facing reception path. `rec` stays valid until this PHY's
+  // incoming_end(rec.tx_id) returns (the channel releases the record after
+  // fanning the end out to every sensed PHY).
+  void incoming_start(const TxRecord& rec, double rss_w, bool decodable);
   void incoming_end(std::uint64_t tx_id);
 
  private:
@@ -82,12 +84,14 @@ class Phy {
   double measured_rssi(double rss_w);
 
   struct Ongoing {
-    Frame frame;
+    std::uint64_t tx_id = 0;
+    const Frame* frame = nullptr;  // into the channel's shared TxRecord
     double rss_w = 0.0;
     Time start = 0;
     Time end = 0;
     bool decodable = false;
   };
+  const Ongoing* find_ongoing(std::uint64_t tx_id) const;
 
   Channel* channel_;
   int id_;
@@ -95,8 +99,12 @@ class Phy {
   Rng rng_;
   PhyListener* listener_ = nullptr;
 
-  std::map<std::uint64_t, Ongoing> ongoing_;  // everything sensed in the air
-  std::uint64_t current_rx_ = 0;              // tx_id being demodulated (0 = none)
+  // Everything sensed in the air. Transmissions overlap a handful at a
+  // time, so a flat vector beats the old std::map; erases are stable so
+  // iteration order stays ascending-tx_id, exactly as the map's was.
+  std::vector<Ongoing> ongoing_;
+  double ongoing_power_w_ = 0.0;  // running sum of ongoing rss (interference)
+  std::uint64_t current_rx_ = 0;  // tx_id being demodulated (0 = none)
   bool current_collided_ = false;
   bool transmitting_ = false;
 

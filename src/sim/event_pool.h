@@ -1,0 +1,100 @@
+// Slab + LIFO free list of event records, addressed by {index, generation}.
+//
+// Replaces the scheduler's former per-event std::make_shared<State> +
+// std::function pair (two heap allocations per scheduled event) with a
+// reusable slot array: scheduling in steady state touches no allocator at
+// all once the slab has reached the high-water mark of concurrently
+// pending events.
+//
+// Generations are per-slot counters with parity encoding liveness: a
+// slot's generation is odd while it holds a live event and even while it
+// sits on the free list. A handle captured at alloc() time stops matching
+// the moment the slot is released, and a 64-bit counter cannot wrap within
+// a simulation, so stale handles (cancel-after-fire, cancel-after-reuse)
+// are rejected by a single array compare — no shared_ptr, no ABA.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/inplace_function.h"
+
+namespace g80211 {
+
+// Callback storage for one scheduled event. 64 bytes of inline capture is
+// enough for every call site in the simulator (the largest is the wired
+// link's {PacketPtr, std::function} pair at 48); bigger captures fail to
+// compile rather than silently allocating.
+using EventFn = InplaceFunction<64>;
+
+class EventPool {
+ public:
+  // Store `fn` in a free slot (reusing one if available) and return its
+  // index; read the matching generation with generation() immediately
+  // after. The slot is live until take() or release().
+  std::uint32_t alloc(EventFn fn) {
+    std::uint32_t idx;
+    if (free_.empty()) {
+      idx = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    } else {
+      idx = free_.back();
+      free_.pop_back();
+    }
+    Slot& s = slots_[idx];
+    ++s.generation;  // even -> odd: live
+    s.fn = std::move(fn);
+    return idx;
+  }
+
+  // Generation assigned by the most recent alloc() of this slot.
+  std::uint64_t generation(std::uint32_t idx) const {
+    return slots_[idx].generation;
+  }
+
+  // True while {idx, gen} names a live (scheduled, unfired, uncancelled)
+  // event.
+  bool live(std::uint32_t idx, std::uint64_t gen) const {
+    return idx < slots_.size() && slots_[idx].generation == gen &&
+           (gen & 1) != 0;
+  }
+
+  // Fire path: move the callback out and free the slot. The caller runs
+  // the returned callback *after* this returns, so the callback may safely
+  // alloc() new events (possibly reusing this very slot).
+  EventFn take(std::uint32_t idx) {
+    Slot& s = slots_[idx];
+    assert((s.generation & 1) != 0 && "take() of a free slot");
+    EventFn fn = std::move(s.fn);
+    free_slot(idx);
+    return fn;
+  }
+
+  // Cancel path: drop the callback and free the slot.
+  void release(std::uint32_t idx) { free_slot(idx); }
+
+  // Slab high-water mark: total slots ever created.
+  std::size_t slots() const { return slots_.size(); }
+  // Slots currently free (slots() - free_slots() events are live).
+  std::size_t free_slots() const { return free_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t generation = 0;
+    EventFn fn;
+  };
+
+  void free_slot(std::uint32_t idx) {
+    Slot& s = slots_[idx];
+    assert((s.generation & 1) != 0 && "double free of event slot");
+    s.fn.reset();
+    ++s.generation;  // odd -> even: free
+    free_.push_back(idx);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace g80211

@@ -5,36 +5,50 @@
 
 namespace g80211 {
 
-EventId Scheduler::at(Time when, std::function<void()> fn) {
+EventId Scheduler::at(Time when, EventFn fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  auto state = std::make_shared<EventId::State>();
-  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
-  return EventId(std::move(state));
+  const std::uint32_t index = pool_.alloc(std::move(fn));
+  const std::uint64_t gen = pool_.generation(index);
+  queue_.push(Entry{when, next_seq_++, gen, index});
+  ++live_;
+  return EventId(this, index, gen);
 }
 
 void Scheduler::discard_cancelled_tops() {
-  while (!queue_.empty() && queue_.top().state->cancelled) queue_.pop();
+  while (!queue_.empty() &&
+         !pool_.live(queue_.top().index, queue_.top().gen)) {
+    queue_.pop();
+  }
+}
+
+void Scheduler::fire_top() {
+  const Entry e = queue_.top();
+  queue_.pop();
+  assert(e.when >= now_);
+  now_ = e.when;
+  // Move the callback out before running it: the callback may schedule new
+  // events, growing the slab and reusing this very slot.
+  EventFn fn = pool_.take(e.index);
+  --live_;
+  ++executed_;
+  fn();
 }
 
 bool Scheduler::step() {
   discard_cancelled_tops();
   if (queue_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast, standard trick.
-  Entry e = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
-  assert(e.when >= now_);
-  now_ = e.when;
-  e.state->fired = true;
-  ++executed_;
-  e.fn();
+  fire_top();
   return true;
 }
 
 void Scheduler::run_until(Time horizon) {
+  // One tombstone scan per iteration: after discard_cancelled_tops() the
+  // top is known live, so fire it directly instead of re-scanning in
+  // step().
   for (;;) {
     discard_cancelled_tops();
     if (queue_.empty() || queue_.top().when > horizon) break;
-    if (!step()) break;
+    fire_top();
   }
   if (now_ < horizon) now_ = horizon;
 }

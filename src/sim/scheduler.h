@@ -3,40 +3,44 @@
 // Events are closures ordered by (time, insertion sequence); ties break in
 // insertion order so that a run is a pure function of (scenario, seed).
 // Events can be cancelled through the EventId returned at scheduling time;
-// cancellation is O(1) (a tombstone flag) and cancelled events are skipped
-// when popped.
+// cancellation is O(1) (a generation bump frees the slot immediately) and
+// stale heap entries are skipped as tombstones when popped.
+//
+// Hot-path design: callbacks live in an EventPool slab (no shared_ptr, no
+// std::function, no per-event heap allocation in steady state) and the
+// priority queue holds plain {time, seq, generation, index} records. See
+// docs/architecture.md, "Event engine".
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
+#include "src/sim/event_pool.h"
 #include "src/sim/time.h"
 
 namespace g80211 {
 
 class Scheduler;
 
-// Handle to a scheduled event; cheap to copy, safe to outlive the event.
+// Handle to a scheduled event; cheap to copy, safe to outlive the event
+// (but not the scheduler it came from).
 class EventId {
  public:
   EventId() = default;
   // True if the event is still pending (not run, not cancelled).
-  bool pending() const { return state_ && !state_->cancelled && !state_->fired; }
-  void cancel() {
-    if (state_) state_->cancelled = true;
-  }
+  bool pending() const;
+  void cancel();
 
  private:
   friend class Scheduler;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventId(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventId(Scheduler* sched, std::uint32_t index, std::uint64_t gen)
+      : sched_(sched), index_(index), gen_(gen) {}
+  Scheduler* sched_ = nullptr;
+  std::uint32_t index_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 class Scheduler {
@@ -44,9 +48,9 @@ class Scheduler {
   Time now() const { return now_; }
 
   // Schedule `fn` to run at absolute time `at` (must be >= now()).
-  EventId at(Time when, std::function<void()> fn);
+  EventId at(Time when, EventFn fn);
   // Schedule `fn` to run `delay` ns from now.
-  EventId after(Time delay, std::function<void()> fn) {
+  EventId after(Time delay, EventFn fn) {
     return at(now_ + delay, std::move(fn));
   }
 
@@ -59,13 +63,23 @@ class Scheduler {
   std::uint64_t executed() const { return executed_; }
   // Number of events currently queued (including tombstones).
   std::size_t queued() const { return queue_.size(); }
+  // Live events currently queued (scheduled, unfired, uncancelled).
+  std::size_t pending() const { return live_; }
+  // Cancelled tombstones still sitting in the heap; they are discarded
+  // lazily when they reach the top, so buildup here measures cancel churn.
+  std::size_t cancelled_pending() const { return queue_.size() - live_; }
+  // Event-slab high-water mark: the most events that were ever pending at
+  // once. Stays flat under schedule/cancel churn (slots are reused).
+  std::size_t pool_slots() const { return pool_.slots(); }
 
  private:
+  friend class EventId;
+
   struct Entry {
     Time when = 0;
     std::uint64_t seq = 0;
-    std::function<void()> fn;
-    std::shared_ptr<EventId::State> state;
+    std::uint64_t gen = 0;
+    std::uint32_t index = 0;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -74,29 +88,52 @@ class Scheduler {
     }
   };
 
-  bool step();  // pop+run one live event; false if queue empty
+  bool event_live(std::uint32_t index, std::uint64_t gen) const {
+    return pool_.live(index, gen);
+  }
+  void cancel_event(std::uint32_t index, std::uint64_t gen) {
+    if (!pool_.live(index, gen)) return;  // fired, cancelled, or reused slot
+    pool_.release(index);
+    --live_;
+  }
+
+  bool step();       // pop+run one live event; false if queue empty
+  void fire_top();   // pop+run queue_.top(), which must be live
   void discard_cancelled_tops();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+  EventPool pool_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 
+inline bool EventId::pending() const {
+  return sched_ != nullptr && sched_->event_live(index_, gen_);
+}
+inline void EventId::cancel() {
+  if (sched_ != nullptr) sched_->cancel_event(index_, gen_);
+}
+
 // A restartable one-shot timer bound to a scheduler; wraps the
-// schedule/cancel pattern the MAC uses everywhere.
+// schedule/cancel pattern the MAC uses everywhere. The scheduled event
+// captures only `this`, so restarts never copy the callback.
 class Timer {
  public:
   Timer(Scheduler& sched, std::function<void()> fn)
       : sched_(&sched), fn_(std::move(fn)) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { cancel(); }
 
   void start(Time delay) {
     cancel();
-    id_ = sched_->after(delay, fn_);
+    id_ = sched_->after(delay, [this] { fn_(); });
   }
   void start_at(Time when) {
     cancel();
-    id_ = sched_->at(when, fn_);
+    id_ = sched_->at(when, [this] { fn_(); });
   }
   void cancel() { id_.cancel(); }
   bool pending() const { return id_.pending(); }

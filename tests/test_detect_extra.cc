@@ -149,13 +149,13 @@ TEST_F(DetectExtraTest, LocatorMarginSuppressesNearTies) {
   Node& a = add_node({5, 0});
   Node& b = add_node({5.2, 0});
   for (Node* n : {&a, &b}) {
-    Frame data;
-    data.type = FrameType::kData;
-    data.ta = n->id();
-    data.ra = 9;
-    data.packet = std::make_shared<Packet>();
-    data.packet->size_bytes = 200;
-    sched_.after(milliseconds(n->id()), [this, n, data] {
+    sched_.after(milliseconds(n->id()), [this, n] {
+      Frame data;
+      data.type = FrameType::kData;
+      data.ta = n->id();
+      data.ra = 9;
+      data.packet = std::make_shared<Packet>();
+      data.packet->size_bytes = 200;
       n->phy().transmit(data, params_.data_tx_time(200));
     });
   }

@@ -259,6 +259,34 @@ TEST_F(PhyChannelTest, RssiReflectsDistanceOrdering) {
               watts_to_dbm(listener(1).received[0].info.rss_w), 1e-9);
 }
 
+TEST_F(PhyChannelTest, InterferenceSumSurvivesOverlapChurn) {
+  // Three comparable-power frames pile up and drain one by one; the
+  // receiver's running interference sum must flag the pile-up as a
+  // collision and then read exactly zero again, so a later lone frame
+  // decodes cleanly (a stale positive residue would mark it collided).
+  Phy& a = add_phy(0, {0, 0});
+  Phy& b = add_phy(1, {20, 0});
+  Phy& c = add_phy(2, {10, 11});
+  add_phy(3, {10, 0});
+  a.transmit(data_frame(0, 3), microseconds(500));
+  sched_.at(microseconds(100), [&] {
+    b.transmit(data_frame(1, 3), microseconds(500));
+  });
+  sched_.at(microseconds(200), [&] {
+    c.transmit(data_frame(2, 3), microseconds(500));
+  });
+  sched_.at(milliseconds(2), [&] {
+    a.transmit(data_frame(0, 3), microseconds(500));
+  });
+  sched_.run();
+  auto& l = listener(3);
+  ASSERT_EQ(l.received.size(), 2u);
+  EXPECT_TRUE(l.received[0].info.collided) << "triple overlap must collide";
+  EXPECT_FALSE(l.received[1].info.corrupted)
+      << "clean frame after the channel drained must decode";
+  EXPECT_EQ(l.received[1].frame.true_tx, 0);
+}
+
 TEST_F(PhyChannelTest, BackToBackTransmissionsBothDelivered) {
   Phy& tx = add_phy(0, {0, 0});
   add_phy(1, {5, 0});

@@ -1,9 +1,12 @@
 // Unit tests for the discrete-event kernel: ordering, cancellation,
-// determinism, timers.
+// determinism, timers, the pooled event slab and its generation handles.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "src/sim/inplace_function.h"
 #include "src/sim/scheduler.h"
 
 namespace g80211 {
@@ -101,6 +104,135 @@ TEST(Scheduler, ExecutedCountsOnlyLiveEvents) {
   EXPECT_EQ(s.executed(), 1u);
 }
 
+TEST(Scheduler, CancelAfterFireIsANoOp) {
+  Scheduler s;
+  int runs = 0;
+  EventId id = s.at(microseconds(1), [&] { ++runs; });
+  s.run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(id.pending());
+  id.cancel();  // stale handle: must not disturb anything
+  EXPECT_FALSE(id.pending());
+  EXPECT_EQ(s.executed(), 1u);
+  // The fired slot is reusable; the stale handle must not touch its new
+  // occupant.
+  bool ran = false;
+  EventId fresh = s.at(microseconds(2), [&] { ran = true; });
+  id.cancel();
+  EXPECT_TRUE(fresh.pending());
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, PendingAcrossGenerationReuseOfPooledSlot) {
+  Scheduler s;
+  EventId a = s.at(microseconds(1), [] {});
+  a.cancel();  // frees the slot immediately
+  EXPECT_FALSE(a.pending());
+  // Only one slot was ever allocated, so b reuses a's slot at a fresh
+  // generation.
+  EventId b = s.at(microseconds(2), [] {});
+  EXPECT_EQ(s.pool_slots(), 1u);
+  EXPECT_FALSE(a.pending()) << "stale handle must not match the reused slot";
+  EXPECT_TRUE(b.pending());
+  a.cancel();  // stale cancel must not kill b
+  EXPECT_TRUE(b.pending());
+  s.run();
+  EXPECT_FALSE(b.pending());
+  EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(Scheduler, CancelledPendingCountsTombstones) {
+  Scheduler s;
+  EventId a = s.at(microseconds(10), [] {});
+  s.at(microseconds(20), [] {});
+  EXPECT_EQ(s.cancelled_pending(), 0u);
+  EXPECT_EQ(s.pending(), 2u);
+  a.cancel();
+  EXPECT_EQ(s.cancelled_pending(), 1u) << "tombstone stays queued until popped";
+  EXPECT_EQ(s.queued(), 2u);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(s.cancelled_pending(), 0u);
+  EXPECT_EQ(s.queued(), 0u);
+}
+
+TEST(Scheduler, MassCancelStressDoesNotGrowPool) {
+  Scheduler s;
+  constexpr int kRounds = 50;
+  constexpr std::size_t kBatch = 256;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<EventId> ids;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      ids.push_back(s.after(microseconds(static_cast<Time>(i + 1)), [] {}));
+    }
+    EXPECT_EQ(s.pending(), kBatch);
+    for (EventId& id : ids) id.cancel();
+    EXPECT_EQ(s.pending(), 0u);
+    EXPECT_EQ(s.cancelled_pending(), kBatch);
+    // Slots are recycled at cancel time: the slab never exceeds the
+    // high-water mark of concurrently pending events.
+    EXPECT_LE(s.pool_slots(), kBatch);
+    s.run();  // drains the tombstones without executing anything
+    EXPECT_EQ(s.cancelled_pending(), 0u);
+    EXPECT_EQ(s.queued(), 0u);
+  }
+  EXPECT_EQ(s.executed(), 0u);
+  EXPECT_LE(s.pool_slots(), kBatch);
+}
+
+TEST(Scheduler, GoldenEventOrderTrace) {
+  // Golden trace locking in dispatch order across engine refactors:
+  // same-time ties fire in insertion order, cancelled events (including a
+  // same-instant cancel) drop out, and an event scheduled *during* the
+  // current instant runs after everything already queued at that instant.
+  Scheduler s;
+  std::vector<std::string> trace;
+  s.at(microseconds(20), [&] { trace.push_back("c1"); });
+  s.at(microseconds(10), [&] {
+    trace.push_back("a1");
+    s.after(0, [&] { trace.push_back("a1-nested"); });
+    s.at(microseconds(15), [&] { trace.push_back("b"); });
+  });
+  EventId dead = s.at(microseconds(10), [&] { trace.push_back("dead"); });
+  s.at(microseconds(10), [&] { trace.push_back("a2"); });
+  dead.cancel();
+  s.at(microseconds(20), [&] { trace.push_back("c2"); });
+  Timer t(s, [&] { trace.push_back("timer"); });
+  t.start(microseconds(17));
+  s.run();
+  EXPECT_EQ(trace, (std::vector<std::string>{"a1", "a2", "a1-nested", "b",
+                                             "timer", "c1", "c2"}));
+}
+
+TEST(InplaceFunction, MoveTransfersTheCallable) {
+  int hits = 0;
+  InplaceFunction<64> f([&hits] { ++hits; });
+  InplaceFunction<64> g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(hits, 1);
+  InplaceFunction<64> h;
+  h = std::move(g);
+  h();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(7);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    InplaceFunction<64> f([token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+    InplaceFunction<64> g(std::move(f));
+    EXPECT_EQ(token.use_count(), 2) << "move must not duplicate the capture";
+    g.reset();
+    EXPECT_EQ(token.use_count(), 1);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
 TEST(Timer, StartCancelRestart) {
   Scheduler s;
   int fired = 0;
@@ -124,6 +256,18 @@ TEST(Timer, RestartSupersedesPreviousDeadline) {
   s.run();
   ASSERT_EQ(fire_times.size(), 1u);
   EXPECT_EQ(fire_times[0], microseconds(50));
+}
+
+TEST(Timer, DestructionCancelsPendingEvent) {
+  Scheduler s;
+  int fired = 0;
+  {
+    Timer t(s, [&] { ++fired; });
+    t.start(microseconds(5));
+    EXPECT_TRUE(t.pending());
+  }
+  s.run();
+  EXPECT_EQ(fired, 0) << "a destroyed timer's event must not fire";
 }
 
 TEST(Timer, StartAtAbsoluteTime) {
