@@ -84,6 +84,47 @@ void BM_TcpPair(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kAvgIterations);
 }
 
+// Hotspot scale: one saturated AP pushing UDP downlink to N stations, all
+// mutually in range — the paper's deployment shape. Every DATA/ACK/RTS/CTS
+// fans out to every station, so this is the benchmark where per-frame
+// radio math (distance/rx-power per attached PHY) dominates; the link-state
+// cache turns that into a flat table walk. Offered load is fixed at
+// 24 Mbps total (shared across stations) so packet-generation event cost
+// stays constant across N and the sweep isolates the PHY fan-out.
+void BM_Hotspot(benchmark::State& state) {
+  const int n_stations = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  double total = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    SimConfig cfg;
+    cfg.measure = seconds(1);
+    cfg.warmup = milliseconds(100);
+    cfg.seed = seed++;
+    Sim sim(cfg);
+    const SharedApLayout l = shared_ap(n_stations);
+    Node& ap = sim.add_node(l.ap);
+    std::vector<Sim::UdpFlow> flows;
+    flows.reserve(static_cast<std::size_t>(n_stations));
+    for (int i = 0; i < n_stations; ++i) {
+      Node& sta = sim.add_node(l.clients[static_cast<std::size_t>(i)]);
+      flows.push_back(sim.add_udp_flow(ap, sta, 24.0 / n_stations));
+    }
+    sim.run();
+    sim_seconds += sim_span_seconds(cfg);
+    events += sim.scheduler().executed();
+    for (const auto& f : flows) total += f.goodput_mbps();
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["sim_seconds_per_wall_second"] =
+      benchmark::Counter(sim_seconds, benchmark::Counter::kIsRate);
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["events_executed"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kAvgIterations);
+}
+
 // Pure scheduler microbench, no PHY/MAC: the dominant MAC pattern of
 // schedule / cancel / reschedule plus a fired ladder. Measures raw
 // events/sec through the slab + heap with zero steady-state allocation.
@@ -128,6 +169,7 @@ void BM_TimerRestart(benchmark::State& state) {
 
 BENCHMARK(BM_SaturatedUdpPairs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TcpPair)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hotspot)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SchedulerChurn)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_TimerRestart)->Unit(benchmark::kMicrosecond);
 

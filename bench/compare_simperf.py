@@ -13,13 +13,18 @@ Usage:
     python3 bench/compare_simperf.py fresh.json
 
     options: --baseline PATH (default: BENCH_simperf.json next to the
-    repo root), --threshold FRACTION (default 0.15)
+    repo root), --threshold FRACTION (default 0.15), --warn-only (report
+    regressions but exit 0 — for CI runners whose hardware differs from
+    the baseline's)
 
 Exit status: 0 when every benchmark is within threshold, 1 on regression,
 2 on usage/IO errors. Absolute times vary across machines — the gate is
 meant to compare runs on the *same* machine (e.g. before/after a change,
 or CI runners of one type); refresh the baseline with --update after an
-intentional engine change.
+intentional engine change. The run's context (CPU count, library build
+type) is checked against the baseline's and any mismatch is warned about
+loudly: a debug-vs-release or 1-vs-64-core comparison says nothing about
+the code.
 """
 
 import argparse
@@ -57,6 +62,29 @@ def fresh_run(path):
     return json.loads(proc.stdout)
 
 
+def check_context(baseline_doc, fresh_doc):
+    """Warn loudly when the two runs' environments are not comparable."""
+    base_ctx = baseline_doc.get("context", {})
+    fresh_ctx = fresh_doc.get("context", {})
+    mismatches = []
+    for key in ("num_cpus", "library_build_type"):
+        b, f = base_ctx.get(key), fresh_ctx.get(key)
+        if b is not None and f is not None and b != f:
+            mismatches.append(f"{key}: baseline={b!r} fresh={f!r}")
+    if mismatches:
+        sys.stderr.write(
+            "=" * 70 + "\n"
+            "compare_simperf: WARNING: baseline and fresh run contexts "
+            "differ —\ntimings are NOT comparable; deltas below may be "
+            "meaningless:\n")
+        for m in mismatches:
+            sys.stderr.write(f"  {m}\n")
+        sys.stderr.write(
+            "re-record the baseline on this configuration with --update.\n"
+            + "=" * 70 + "\n")
+    return mismatches
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("target", help="bench_ext_simperf binary or its JSON output")
@@ -65,6 +93,8 @@ def main():
                     help="max tolerated slowdown fraction (default 0.15)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline's benchmarks with the fresh run")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="print regressions but always exit 0")
     args = ap.parse_args()
 
     try:
@@ -79,6 +109,10 @@ def main():
     fresh = load_benchmarks(fresh_doc)
 
     if args.update:
+        # Record the fresh run's context too: the baseline must describe
+        # the machine/build it was measured on for check_context to work.
+        if fresh_doc.get("context"):
+            baseline_doc["context"] = fresh_doc["context"]
         baseline_doc["benchmarks"] = [
             b for b in fresh_doc.get("benchmarks", [])
             if b.get("run_type") != "aggregate"
@@ -88,6 +122,8 @@ def main():
             f.write("\n")
         print(f"baseline updated: {args.baseline}")
         return 0
+
+    context_mismatches = check_context(baseline_doc, fresh_doc)
 
     regressions = []
     width = max((len(n) for n in baseline), default=10)
@@ -109,11 +145,15 @@ def main():
         print(f"{name:<{width}}  {'(new)':>10}  {fresh[name]:>10.3f}")
 
     if regressions:
-        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+        verdict = "WARN" if args.warn_only else "FAIL"
+        print(f"\n{verdict}: {len(regressions)} benchmark(s) regressed beyond "
               f"{args.threshold:.0%}:", file=sys.stderr)
         for name, why in regressions:
             print(f"  {name}: {why}", file=sys.stderr)
-        return 1
+        if context_mismatches:
+            print("(context mismatch above — treat these deltas with "
+                  "suspicion)", file=sys.stderr)
+        return 0 if args.warn_only else 1
     print(f"\nOK: all benchmarks within {args.threshold:.0%} of baseline")
     return 0
 

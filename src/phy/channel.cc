@@ -4,6 +4,35 @@
 
 namespace g80211 {
 
+void Channel::attach(Phy* phy) {
+  phy->channel_index_ = phys_.size();
+  phys_.push_back(phy);
+  tables_.emplace_back();
+  invalidate_topology();  // every sender's sensed set may now include `phy`
+}
+
+const std::vector<LinkState>& Channel::neighbors_of(Phy* sender) {
+  NeighborTable& t = tables_[sender->channel_index_];
+  const std::uint64_t prop_gen = propagation_.generation();
+  if (t.topo_gen != topology_gen_ || t.prop_gen != prop_gen) {
+    t.neighbors.clear();
+    // Same walk, same skip rules, same double math as the pre-cache
+    // per-frame scan — entries land in attach order, so the fan-out (and
+    // with it every event ordering and RNG draw) is bit-identical.
+    for (Phy* rx : phys_) {
+      if (rx == sender) continue;
+      const double d = distance(sender->position(), rx->position());
+      if (!sensed_at(d)) continue;
+      const double p = propagation_.rx_power_w(d);
+      t.neighbors.push_back(LinkState{rx, p, watts_to_dbm(p), decodable_at(d)});
+    }
+    t.topo_gen = topology_gen_;
+    t.prop_gen = prop_gen;
+    ++tables_rebuilt_;
+  }
+  return t.neighbors;
+}
+
 TxRecord* Channel::acquire_record() {
   if (free_records_.empty()) {
     records_.push_back(std::make_unique<TxRecord>());
@@ -22,20 +51,19 @@ void Channel::release_record(TxRecord* rec) {
 
 void Channel::transmit(Phy* sender, const Frame& frame, Time airtime) {
   const Time end = sched_->now() + airtime;
+  // tx_id advances even for transmissions nobody senses (as it always
+  // has), so id sequences are independent of topology.
+  const std::uint64_t tx_id = next_tx_id_++;
+  const std::vector<LinkState>& neighbors = neighbors_of(sender);
+  if (neighbors.empty()) return;
   TxRecord* rec = acquire_record();
   rec->frame = frame;
   rec->end = end;
-  rec->tx_id = next_tx_id_++;
-  for (Phy* rx : phys_) {
-    if (rx == sender) continue;
-    const double d = distance(sender->position(), rx->position());
-    if (!sensed_at(d)) continue;
-    rec->sensed.push_back(rx);
-    rx->incoming_start(*rec, propagation_.rx_power_w(d), decodable_at(d));
-  }
-  if (rec->sensed.empty()) {
-    release_record(rec);
-    return;
+  rec->tx_id = tx_id;
+  for (const LinkState& link : neighbors) {
+    rec->sensed.push_back(link.rx);
+    link.rx->incoming_start(*rec, link.rx_power_w, link.rx_power_dbm,
+                            link.decodable);
   }
   sched_->at(end, [this, rec] { finish(rec); });
 }

@@ -40,6 +40,19 @@ struct TxRecord {
   std::vector<Phy*> sensed;  // receivers, in channel attach order
 };
 
+// One precomputed receiver entry in a sender's link table: who senses the
+// sender's frames, at what received power, and whether they can decode
+// them. Strangers outside carrier-sense range never appear, so the
+// transmit fan-out pays zero distance/propagation math per frame. The dBm
+// conversion (a log10 formerly paid per delivered frame in the RSSI path)
+// is precomputed here too and threaded through reception.
+struct LinkState {
+  Phy* rx = nullptr;
+  double rx_power_w = 0.0;
+  double rx_power_dbm = 0.0;  // watts_to_dbm(rx_power_w), cached
+  bool decodable = false;
+};
+
 class Channel {
  public:
   Channel(Scheduler& sched, WifiParams params) : sched_(&sched), params_(params) {}
@@ -47,6 +60,7 @@ class Channel {
   void set_ranges(double comm_range_m, double cs_range_m) {
     comm_range_m_ = comm_range_m;
     cs_range_m_ = cs_range_m;
+    invalidate_topology();
   }
   double comm_range_m() const { return comm_range_m_; }
   double cs_range_m() const { return cs_range_m_ > 0 ? cs_range_m_ : comm_range_m_; }
@@ -62,11 +76,25 @@ class Channel {
   // (ablation: every overlap is a collision).
   double capture_threshold = 10.0;
 
-  void attach(Phy* phy) { phys_.push_back(phy); }
+  void attach(Phy* phy);
   const std::vector<Phy*>& phys() const { return phys_; }
 
   // Broadcast `frame` from `sender` for `airtime`.
   void transmit(Phy* sender, const Frame& frame, Time airtime);
+
+  // Sender's link table: every receiver within sensing range, in channel
+  // attach order (the fan-out order contract), with precomputed rx power
+  // and decodability. Rebuilt lazily when the topology generation moved
+  // (attach, set_position, set_ranges) or propagation parameters changed.
+  const std::vector<LinkState>& neighbors_of(Phy* sender);
+
+  // Marks every link table stale. Cheap (one counter bump): callers may
+  // invoke it per mobility tick; tables rebuild lazily on the next
+  // transmit, amortised over the frames between moves.
+  void invalidate_topology() { ++topology_gen_; }
+  std::uint64_t topology_generation() const { return topology_gen_; }
+  // Total table rebuilds, for tests/benchmarks asserting cache behaviour.
+  std::uint64_t link_tables_rebuilt() const { return tables_rebuilt_; }
 
   bool decodable_at(double dist_m) const {
     return comm_range_m_ <= 0 || dist_m <= comm_range_m_;
@@ -88,6 +116,17 @@ class Channel {
   double comm_range_m_ = 0;  // <= 0: unlimited
   double cs_range_m_ = 0;    // <= 0: same as comm range
   std::uint64_t next_tx_id_ = 1;
+  // Per-sender link tables, indexed by the sender's attach index. A table
+  // is valid while both generation stamps match; topology_gen_ starts at 1
+  // so a freshly attached (zero-stamped) table is always stale.
+  struct NeighborTable {
+    std::uint64_t topo_gen = 0;
+    std::uint64_t prop_gen = 0;
+    std::vector<LinkState> neighbors;
+  };
+  std::vector<NeighborTable> tables_;
+  std::uint64_t topology_gen_ = 1;
+  std::uint64_t tables_rebuilt_ = 0;
   // Record pool: records_ owns every record ever created (so teardown with
   // transmissions still in flight leaks nothing); free_records_ lists the
   // idle ones. Steady state allocates no new records.

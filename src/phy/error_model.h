@@ -11,14 +11,27 @@
 // Per-link overrides support the paper's asymmetric-loss experiments
 // ("inject random loss to only one flow").
 //
+// Storage is built for the per-reception hot path: link overrides live in
+// dense node-indexed matrices (node ids are small sequential integers), so
+// ber() and rate_excess_fer() are one array read instead of a std::map
+// find, and frame_error_prob() memoises fer(ber, len) per link and frame
+// length, so the std::pow is paid once per (link, length) instead of once
+// per reception. Ids outside the dense block (>= kMaxDenseId, or negative)
+// fall back to an overflow map — correct, just not O(1). All caches are
+// invalidated by the BER/rate-limit setters; there is no staleness window.
+//
 // The header-corruption study (Table I) is separate: it uses a true
 // per-bit model over the 802.11 frame layout to show that corrupted frames
 // usually preserve src/dst MAC addresses.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "src/mac/frame.h"
 #include "src/sim/rng.h"
@@ -34,10 +47,19 @@ class ErrorModel {
   // BER required for a target FER at length `len` (inverse of fer()).
   static double ber_for_fer(double target_fer, int len);
 
-  void set_default_ber(double ber) { default_ber_ = ber; }
+  void set_default_ber(double ber);
   // Loss on the directed link tx -> rx only.
   void set_link_ber(int tx, int rx, double ber);
-  double ber(int tx, int rx) const;
+  double ber(int tx, int rx) const {
+    if (in_dense(tx) && in_dense(rx)) {
+      const double v = link_ber_[dense_index(tx, rx)];
+      if (!std::isnan(v)) return v;
+    } else if (has_overflow_) {
+      const auto it = overflow_ber_.find({tx, rx});
+      if (it != overflow_ber_.end()) return it->second;
+    }
+    return default_ber_;
+  }
 
   // Rate-dependent channel quality (auto-rate substrate): DATA frames sent
   // above the link's highest "good" PHY rate are corrupted with
@@ -46,7 +68,22 @@ class ErrorModel {
   void set_link_rate_limit(int tx, int rx, double max_good_rate_mbps,
                            double excess_fer = 0.9);
   // FER contribution of sending at `rate_mbps` on this link (0 if allowed).
-  double rate_excess_fer(int tx, int rx, double rate_mbps) const;
+  double rate_excess_fer(int tx, int rx, double rate_mbps) const {
+    if (rate_mbps <= 0.0 || !has_rate_limit_) return 0.0;
+    if (in_dense(tx) && in_dense(rx)) {
+      // Unset links hold the +infinity sentinel: no rate exceeds them.
+      const RateLimit& rl = rate_limit_[dense_index(tx, rx)];
+      return rate_mbps > rl.max_good_rate_mbps ? rl.excess_fer : 0.0;
+    }
+    if (has_overflow_) {
+      const auto it = overflow_rate_.find({tx, rx});
+      if (it != overflow_rate_.end()) {
+        return rate_mbps > it->second.max_good_rate_mbps ? it->second.excess_fer
+                                                         : 0.0;
+      }
+    }
+    return 0.0;
+  }
 
   // Probability that a frame on link tx->rx with packet payload
   // `packet_bytes` arrives corrupted. `rate_mbps` only matters for DATA
@@ -78,14 +115,47 @@ class ErrorModel {
                                               int frame_bytes,
                                               std::int64_t n_frames);
 
+  // Node ids at or above this (or negative) take the overflow-map path.
+  // Sim assigns sequential ids from 0, so in practice everything is dense.
+  static constexpr int kMaxDenseId = 1024;
+
  private:
   struct RateLimit {
-    double max_good_rate_mbps = 0.0;
+    // +infinity = no limit configured (so an explicit limit of 0 — "every
+    // rate is bad" — stays representable, exactly as with the old map).
+    double max_good_rate_mbps = std::numeric_limits<double>::infinity();
     double excess_fer = 0.9;
   };
+  // Per-link memo of fer(ber(link), len): a handful of frame lengths per
+  // link (RTS, CTS/ACK, the flow's DATA sizes), scanned linearly.
+  struct FerMemo {
+    std::vector<std::pair<int, double>> by_len;
+  };
+
+  bool in_dense(int id) const {
+    return static_cast<unsigned>(id) < static_cast<unsigned>(stride_);
+  }
+  std::size_t dense_index(int tx, int rx) const {
+    return static_cast<std::size_t>(tx) * static_cast<std::size_t>(stride_) +
+           static_cast<std::size_t>(rx);
+  }
+  // Grow the dense matrices to cover node id `id` (re-striding preserves
+  // existing entries). No-op for overflow ids.
+  void ensure_dense(int id);
+  // Drop every memoised FER (BER landscape changed).
+  void invalidate_memos();
+  double cached_fer(int tx, int rx, int len) const;
+
   double default_ber_ = 0.0;
-  std::map<std::pair<int, int>, double> link_ber_;
-  std::map<std::pair<int, int>, RateLimit> rate_limit_;
+  int stride_ = 0;  // dense matrices are stride_ x stride_
+  std::vector<double> link_ber_;      // NaN = no override on that link
+  std::vector<RateLimit> rate_limit_;
+  mutable std::vector<FerMemo> fer_memo_;  // per dense link
+  mutable FerMemo default_memo_;  // shared by links outside the dense block
+  bool has_rate_limit_ = false;
+  bool has_overflow_ = false;
+  std::map<std::pair<int, int>, double> overflow_ber_;
+  std::map<std::pair<int, int>, RateLimit> overflow_rate_;
 };
 
 }  // namespace g80211

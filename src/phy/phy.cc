@@ -4,12 +4,15 @@
 
 namespace g80211 {
 
-double Phy::measured_rssi(double rss_w) {
+// `rss_dbm` is the precomputed watts_to_dbm of the true received power;
+// the sum below is the same operation (same bits) as converting here, the
+// log10 has just been hoisted into the channel's link table.
+double Phy::measured_rssi(double rss_dbm) {
   double noise = rng_.normal(0.0, rssi_noise_db);
   if (rng_.chance(rssi_outlier_prob)) {
     noise += rng_.normal(0.0, rssi_outlier_db);
   }
-  return watts_to_dbm(rss_w) + noise;
+  return rss_dbm + noise;
 }
 
 void Phy::notify_edges(bool was_busy) {
@@ -47,7 +50,8 @@ const Phy::Ongoing* Phy::find_ongoing(std::uint64_t tx_id) const {
   return nullptr;
 }
 
-void Phy::incoming_start(const TxRecord& rec, double rss_w, bool decodable) {
+void Phy::incoming_start(const TxRecord& rec, double rss_w, double rss_dbm,
+                         bool decodable) {
   const bool was_busy = carrier_busy();
   const Time now = channel_->scheduler().now();
 
@@ -77,7 +81,7 @@ void Phy::incoming_start(const TxRecord& rec, double rss_w, bool decodable) {
     }
   }
   ongoing_.push_back(
-      Ongoing{rec.tx_id, &rec.frame, rss_w, now, rec.end, decodable});
+      Ongoing{rec.tx_id, &rec.frame, rss_w, rss_dbm, now, rec.end, decodable});
   ongoing_power_w_ += rss_w;
   notify_edges(was_busy);
 }
@@ -110,7 +114,7 @@ void Phy::incoming_end(std::uint64_t tx_id) {
 
     RxInfo info;
     info.rss_w = o.rss_w;
-    info.rssi_dbm = measured_rssi(o.rss_w);
+    info.rssi_dbm = measured_rssi(o.rss_dbm);
     info.start = o.start;
     info.end = o.end;
     info.collided = collided;

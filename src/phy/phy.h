@@ -13,6 +13,7 @@
 // the link median (Fig 21). Detection code sees only this measured value.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -56,7 +57,14 @@ class Phy {
   void set_listener(PhyListener* l) { listener_ = l; }
   int id() const { return id_; }
   const Position& position() const { return pos_; }
-  void set_position(Position p) { pos_ = p; }
+  // Moving a node marks every link table in the channel stale (they are
+  // rebuilt lazily on the next transmit). A no-op move — a mobility tick
+  // with zero velocity — keeps the caches warm.
+  void set_position(Position p) {
+    if (p.x == pos_.x && p.y == pos_.y) return;
+    pos_ = p;
+    channel_->invalidate_topology();
+  }
 
   // Physical carrier sense (includes own transmission).
   bool carrier_busy() const { return transmitting_ || !ongoing_.empty(); }
@@ -74,19 +82,23 @@ class Phy {
 
   // Channel-facing reception path. `rec` stays valid until this PHY's
   // incoming_end(rec.tx_id) returns (the channel releases the record after
-  // fanning the end out to every sensed PHY).
-  void incoming_start(const TxRecord& rec, double rss_w, bool decodable);
+  // fanning the end out to every sensed PHY). `rss_dbm` must equal
+  // watts_to_dbm(rss_w); the channel's link table precomputes it so the
+  // RSSI path pays no log10 per frame.
+  void incoming_start(const TxRecord& rec, double rss_w, double rss_dbm,
+                      bool decodable);
   void incoming_end(std::uint64_t tx_id);
 
  private:
   void tx_done();
   void notify_edges(bool was_busy);
-  double measured_rssi(double rss_w);
+  double measured_rssi(double rss_dbm);
 
   struct Ongoing {
     std::uint64_t tx_id = 0;
     const Frame* frame = nullptr;  // into the channel's shared TxRecord
     double rss_w = 0.0;
+    double rss_dbm = 0.0;  // watts_to_dbm(rss_w), precomputed by the channel
     Time start = 0;
     Time end = 0;
     bool decodable = false;
@@ -95,6 +107,7 @@ class Phy {
 
   Channel* channel_;
   int id_;
+  std::size_t channel_index_ = 0;  // attach index; set by Channel::attach
   Position pos_;
   Rng rng_;
   PhyListener* listener_ = nullptr;

@@ -10,20 +10,21 @@ double distance(const Position& a, const Position& b) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
-double Propagation::crossover_m() const {
+void Propagation::recompute() {
   constexpr double kPi = 3.14159265358979323846;
-  return 4.0 * kPi * antenna_height_m * antenna_height_m / wavelength_m;
+  crossover_m_ = 4.0 * kPi * antenna_height_m_ * antenna_height_m_ / wavelength_m_;
+  ++generation_;
 }
 
 double Propagation::rx_power_w(double d) const {
   constexpr double kPi = 3.14159265358979323846;
   d = std::max(d, 0.1);  // avoid the singularity at zero distance
-  if (d <= crossover_m()) {
-    const double denom = 4.0 * kPi * d / wavelength_m;
-    return tx_power_w * gain_tx * gain_rx / (denom * denom);
+  if (d <= crossover_m_) {
+    const double denom = 4.0 * kPi * d / wavelength_m_;
+    return tx_power_w_ * gain_tx_ * gain_rx_ / (denom * denom);
   }
-  const double h2 = antenna_height_m * antenna_height_m;
-  return tx_power_w * gain_tx * gain_rx * h2 * h2 / (d * d * d * d);
+  const double h2 = antenna_height_m_ * antenna_height_m_;
+  return tx_power_w_ * gain_tx_ * gain_rx_ * h2 * h2 / (d * d * d * d);
 }
 
 }  // namespace g80211

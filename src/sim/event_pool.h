@@ -1,10 +1,17 @@
-// Slab + LIFO free list of event records, addressed by {index, generation}.
+// Chunked slab + LIFO free list of event records, addressed by
+// {index, generation}.
 //
 // Replaces the scheduler's former per-event std::make_shared<State> +
 // std::function pair (two heap allocations per scheduled event) with a
 // reusable slot array: scheduling in steady state touches no allocator at
 // all once the slab has reached the high-water mark of concurrently
 // pending events.
+//
+// Slots live in fixed-size chunks that never move once created (growth
+// appends a chunk instead of reallocating), so a slot's address is stable
+// across alloc() calls. That is what lets fire() run a callback *in place*
+// — no per-event move of the 64-byte inline capture out of the slab —
+// even though the callback itself usually alloc()s follow-up events.
 //
 // Generations are per-slot counters with parity encoding liveness: a
 // slot's generation is odd while it holds a live event and even while it
@@ -16,6 +23,9 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/sim/inplace_function.h"
@@ -32,50 +42,69 @@ class EventPool {
  public:
   // Store `fn` in a free slot (reusing one if available) and return its
   // index; read the matching generation with generation() immediately
-  // after. The slot is live until take() or release().
-  std::uint32_t alloc(EventFn fn) {
+  // after. The slot is live until take() or release(). The callable is
+  // constructed directly in the slot's inline storage (no EventFn
+  // temporary) when a raw lambda is passed.
+  template <typename F>
+  std::uint32_t alloc(F&& fn) {
     std::uint32_t idx;
     if (free_.empty()) {
-      idx = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back();
+      if (size_ == chunks_.size() * kChunkSize) {
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      }
+      idx = static_cast<std::uint32_t>(size_++);
     } else {
       idx = free_.back();
       free_.pop_back();
     }
-    Slot& s = slots_[idx];
+    Slot& s = slot(idx);
     ++s.generation;  // even -> odd: live
-    s.fn = std::move(fn);
+    if constexpr (std::is_same_v<std::decay_t<F>, EventFn>) {
+      s.fn = std::forward<F>(fn);
+    } else {
+      s.fn.emplace(std::forward<F>(fn));
+    }
     return idx;
   }
 
   // Generation assigned by the most recent alloc() of this slot.
   std::uint64_t generation(std::uint32_t idx) const {
-    return slots_[idx].generation;
+    return slot(idx).generation;
   }
 
   // True while {idx, gen} names a live (scheduled, unfired, uncancelled)
   // event.
   bool live(std::uint32_t idx, std::uint64_t gen) const {
-    return idx < slots_.size() && slots_[idx].generation == gen &&
-           (gen & 1) != 0;
+    return idx < size_ && slot(idx).generation == gen && (gen & 1) != 0;
   }
 
-  // Fire path: move the callback out and free the slot. The caller runs
-  // the returned callback *after* this returns, so the callback may safely
-  // alloc() new events (possibly reusing this very slot).
-  EventFn take(std::uint32_t idx) {
-    Slot& s = slots_[idx];
-    assert((s.generation & 1) != 0 && "take() of a free slot");
-    EventFn fn = std::move(s.fn);
-    free_slot(idx);
-    return fn;
+  // Fire path: run the callback in its slot, then free the slot. The
+  // generation flips to even *before* the call so handles captured for
+  // this event stop matching (a cancel issued from inside the callback is
+  // a stale no-op, exactly as when the callback was moved out first), and
+  // the slot joins the free list only *after* the call so it cannot be
+  // reused by events the callback schedules. Chunk stability keeps the
+  // slot's address valid across that scheduling.
+  void fire(std::uint32_t idx) {
+    Slot& s = slot(idx);
+    assert((s.generation & 1) != 0 && "fire() of a free slot");
+    ++s.generation;  // odd -> even: live handles stop matching
+    s.fn();
+    s.fn.reset();
+    free_.push_back(idx);
   }
 
   // Cancel path: drop the callback and free the slot.
-  void release(std::uint32_t idx) { free_slot(idx); }
+  void release(std::uint32_t idx) {
+    Slot& s = slot(idx);
+    assert((s.generation & 1) != 0 && "double free of event slot");
+    s.fn.reset();
+    ++s.generation;  // odd -> even: free
+    free_.push_back(idx);
+  }
 
   // Slab high-water mark: total slots ever created.
-  std::size_t slots() const { return slots_.size(); }
+  std::size_t slots() const { return size_; }
   // Slots currently free (slots() - free_slots() events are live).
   std::size_t free_slots() const { return free_.size(); }
 
@@ -85,15 +114,18 @@ class EventPool {
     EventFn fn;
   };
 
-  void free_slot(std::uint32_t idx) {
-    Slot& s = slots_[idx];
-    assert((s.generation & 1) != 0 && "double free of event slot");
-    s.fn.reset();
-    ++s.generation;  // odd -> even: free
-    free_.push_back(idx);
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  Slot& slot(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+  const Slot& slot(std::uint32_t idx) const {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
   }
 
-  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::size_t size_ = 0;  // slots ever created (high-water mark)
   std::vector<std::uint32_t> free_;
 };
 

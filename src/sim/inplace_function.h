@@ -25,6 +25,16 @@ class InplaceFunction {
             typename = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
                                         std::is_invocable_r_v<void, D&>>>
   InplaceFunction(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    emplace(std::forward<F>(f));
+  }
+
+  // Destroy the current callable (if any) and construct `f` directly in the
+  // inline storage — the in-slot construction path the event pool uses to
+  // avoid routing every capture through a temporary.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& f) {
     static_assert(sizeof(D) <= Capacity,
                   "callback capture too large for InplaceFunction — shrink "
                   "the capture (capture pointers, not objects) or raise the "
@@ -32,6 +42,7 @@ class InplaceFunction {
     static_assert(alignof(D) <= Align, "over-aligned callback capture");
     static_assert(std::is_nothrow_move_constructible_v<D>,
                   "callback capture must be nothrow-movable");
+    reset();
     ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
     invoke_ = [](void* s) { (*static_cast<D*>(s))(); };
     relocate_ = [](void* dst, void* src) {

@@ -14,8 +14,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -24,18 +22,6 @@ Rng::Rng(std::uint64_t seed) {
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
 
 std::int64_t Rng::uniform_int(std::int64_t n) {
   assert(n >= 0);
@@ -52,34 +38,6 @@ std::int64_t Rng::uniform_int(std::int64_t n) {
 std::int64_t Rng::uniform_between(std::int64_t lo, std::int64_t hi) {
   assert(lo <= hi);
   return lo + uniform_int(hi - lo);
-}
-
-double Rng::uniform() {
-  // 53 random mantissa bits.
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::chance(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
-}
-
-double Rng::normal(double mean, double stddev) {
-  if (have_spare_) {
-    have_spare_ = false;
-    return mean + stddev * spare_;
-  }
-  double u, v, s;
-  do {
-    u = 2.0 * uniform() - 1.0;
-    v = 2.0 * uniform() - 1.0;
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double m = std::sqrt(-2.0 * std::log(s) / s);
-  spare_ = v * m;
-  have_spare_ = true;
-  return mean + stddev * u * m;
 }
 
 double Rng::exponential(double mean) {

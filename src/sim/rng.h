@@ -7,6 +7,7 @@
 // runs are bit-identical everywhere.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace g80211 {
@@ -18,22 +19,66 @@ class Rng {
   // Derive an independent stream (for per-node RNGs) from this one.
   Rng fork();
 
-  std::uint64_t next_u64();
+  // The draw-per-reception paths (next_u64/uniform/chance/normal) are
+  // defined inline: at tens of millions of draws per simulated second the
+  // call overhead is measurable, and the math is identical to the former
+  // out-of-line definitions (same operations, same order, same bits).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   // Uniform integer in [0, n] (inclusive). n >= 0.
   std::int64_t uniform_int(std::int64_t n);
   // Uniform integer in [lo, hi] (inclusive).
   std::int64_t uniform_between(std::int64_t lo, std::int64_t hi);
+
   // Uniform double in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 random mantissa bits.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
   // Bernoulli trial.
-  bool chance(double p);
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
   // Standard normal via polar Box-Muller (deterministic).
-  double normal(double mean = 0.0, double stddev = 1.0);
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return mean + stddev * u * m;
+  }
+
   // Exponential with given mean.
   double exponential(double mean);
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   bool have_spare_ = false;
   double spare_ = 0.0;

@@ -5,15 +5,6 @@
 
 namespace g80211 {
 
-EventId Scheduler::at(Time when, EventFn fn) {
-  assert(when >= now_ && "cannot schedule into the past");
-  const std::uint32_t index = pool_.alloc(std::move(fn));
-  const std::uint64_t gen = pool_.generation(index);
-  queue_.push(Entry{when, next_seq_++, gen, index});
-  ++live_;
-  return EventId(this, index, gen);
-}
-
 void Scheduler::discard_cancelled_tops() {
   while (!queue_.empty() &&
          !pool_.live(queue_.top().index, queue_.top().gen)) {
@@ -26,12 +17,11 @@ void Scheduler::fire_top() {
   queue_.pop();
   assert(e.when >= now_);
   now_ = e.when;
-  // Move the callback out before running it: the callback may schedule new
-  // events, growing the slab and reusing this very slot.
-  EventFn fn = pool_.take(e.index);
   --live_;
   ++executed_;
-  fn();
+  // Runs the callback in its (chunk-stable) slot: no per-event move of the
+  // inline capture. The pool frees the slot only after the call returns.
+  pool_.fire(e.index);
 }
 
 bool Scheduler::step() {

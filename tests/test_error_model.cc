@@ -89,6 +89,80 @@ TEST(ErrorModel, FrameErrorProbUsesLinkAndType) {
   EXPECT_DOUBLE_EQ(em.frame_error_prob(1, 0, FrameType::kData, 1064), 0.0);
 }
 
+// The per-(link, length) FER memo must never serve a value computed under
+// an old BER landscape: after every setter, frame_error_prob must agree
+// bit-for-bit with a freshly constructed model holding the same config.
+TEST(ErrorModel, SetLinkBerAfterUseInvalidatesMemo) {
+  ErrorModel em;
+  em.set_link_ber(0, 1, 2e-4);
+  // Prime the memo for several lengths on both an overridden and a
+  // default-BER link.
+  (void)em.frame_error_prob(0, 1, FrameType::kData, 1064);
+  (void)em.frame_error_prob(0, 1, FrameType::kAck, 0);
+  (void)em.frame_error_prob(1, 0, FrameType::kData, 1064);
+
+  em.set_link_ber(0, 1, 8e-4);
+  em.set_link_ber(1, 0, 1e-5);
+
+  ErrorModel fresh;
+  fresh.set_link_ber(0, 1, 8e-4);
+  fresh.set_link_ber(1, 0, 1e-5);
+  for (FrameType t : {FrameType::kData, FrameType::kAck, FrameType::kRts}) {
+    EXPECT_EQ(em.frame_error_prob(0, 1, t, 1064),
+              fresh.frame_error_prob(0, 1, t, 1064));
+    EXPECT_EQ(em.frame_error_prob(1, 0, t, 1064),
+              fresh.frame_error_prob(1, 0, t, 1064));
+  }
+}
+
+TEST(ErrorModel, SetDefaultBerAfterUseInvalidatesMemo) {
+  ErrorModel em;
+  em.set_default_ber(1e-5);
+  (void)em.frame_error_prob(2, 3, FrameType::kData, 1064);
+  em.set_default_ber(2e-4);
+  ErrorModel fresh;
+  fresh.set_default_ber(2e-4);
+  EXPECT_EQ(em.frame_error_prob(2, 3, FrameType::kData, 1064),
+            fresh.frame_error_prob(2, 3, FrameType::kData, 1064));
+}
+
+TEST(ErrorModel, SetRateLimitAfterUseInvalidatesMemo) {
+  ErrorModel em;
+  em.set_link_ber(0, 1, 1e-5);
+  const double before = em.frame_error_prob(0, 1, FrameType::kData, 1064, 11.0);
+  // A rate limit below the frame's rate must raise the corruption
+  // probability on the very next query, despite the primed memo.
+  em.set_link_rate_limit(0, 1, 5.5, 0.9);
+  const double after = em.frame_error_prob(0, 1, FrameType::kData, 1064, 11.0);
+  EXPECT_GT(after, 0.9);
+  EXPECT_GT(after, before);
+  // At or below the limit the BER-only probability is restored exactly.
+  EXPECT_EQ(em.frame_error_prob(0, 1, FrameType::kData, 1064, 5.5), before);
+}
+
+// Ids at or above kMaxDenseId take the overflow-map path; overrides and
+// memo invalidation must behave identically there.
+TEST(ErrorModel, OverflowIdsMatchDensePathBehaviour) {
+  const int big = ErrorModel::kMaxDenseId + 976;
+  ErrorModel em;
+  em.set_default_ber(1e-5);
+  em.set_link_ber(0, big, 2e-4);
+  EXPECT_DOUBLE_EQ(em.ber(0, big), 2e-4);
+  EXPECT_DOUBLE_EQ(em.ber(big, 0), 1e-5);  // reverse direction: default
+
+  ErrorModel dense;
+  dense.set_default_ber(1e-5);
+  dense.set_link_ber(0, 1, 2e-4);
+  EXPECT_EQ(em.frame_error_prob(0, big, FrameType::kData, 1064),
+            dense.frame_error_prob(0, 1, FrameType::kData, 1064));
+
+  // Memo invalidation on the overflow path.
+  em.set_link_ber(0, big, 8e-4);
+  dense.set_link_ber(0, 1, 8e-4);
+  EXPECT_EQ(em.frame_error_prob(0, big, FrameType::kData, 1064),
+            dense.frame_error_prob(0, 1, FrameType::kData, 1064));
+}
+
 TEST(ErrorModel, AddrIntactGivenCorruptBehaves) {
   // Large frames: corruption almost surely lies outside the 12 address
   // bytes, so survival is near 1.

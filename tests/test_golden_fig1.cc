@@ -1,0 +1,87 @@
+// Golden-output guard for the Fig 1 scenario.
+//
+// Runs a fixed-seed slice of the Fig 1 sweep (two UDP pairs, CTS NAV
+// inflation on the second receiver) and hashes the exact bit patterns of
+// the resulting metric vector. The committed hash pins the simulator's
+// output bit-for-bit: any change to event ordering, RNG draw sequence, or
+// floating-point arithmetic anywhere in the stack — including "pure"
+// performance work like the PHY link-state caches or the scheduler's heap
+// — flips the hash and fails loudly here instead of silently shifting the
+// paper's figures.
+//
+// The config is fully explicit (warmup/measure set here, not via
+// base_config), so the result is independent of the G80211_QUICK
+// environment that ctest sets.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/greedy/nav_inflation.h"
+#include "src/scenario/scenario.h"
+
+namespace g80211 {
+namespace {
+
+std::uint64_t fnv1a_bits(const std::vector<double>& values) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const double d : values) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  }
+  return h;
+}
+
+TEST(GoldenFig1, MetricVectorBitIdentical) {
+  std::vector<double> metrics;
+  for (const Time inflation :
+       {microseconds(0), microseconds(600), milliseconds(2)}) {
+    bench::PairsSpec spec;
+    spec.tcp = false;
+    spec.udp_rate_mbps = 12.0;
+    spec.cfg.standard = Standard::B80211;
+    spec.cfg.rts_cts = true;
+    spec.cfg.warmup = milliseconds(500);
+    spec.cfg.measure = seconds(2);
+    spec.customize = [inflation](Sim& sim, std::vector<Node*>&,
+                                 std::vector<Node*>& rx) {
+      if (inflation > 0) {
+        sim.make_nav_inflator(*rx[1], NavFrameMask::cts_only(), inflation);
+      }
+    };
+    for (const std::uint64_t seed : {std::uint64_t{100}, std::uint64_t{101}}) {
+      const bench::PairsResult r = bench::run_pairs(spec, seed);
+      metrics.insert(metrics.end(), r.goodput_mbps.begin(),
+                     r.goodput_mbps.end());
+      metrics.insert(metrics.end(), r.sender_avg_cw.begin(),
+                     r.sender_avg_cw.end());
+      metrics.insert(metrics.end(), r.rts_sent.begin(), r.rts_sent.end());
+    }
+  }
+
+  // Recorded from the current engine. A mismatch means simulation output
+  // changed; if the change is intended (a modelling fix, not a perf
+  // refactor), re-record this constant and say so in the commit message.
+  constexpr std::uint64_t kGolden = 0x045ffda2b5fd0c2fULL;
+
+  const std::uint64_t h = fnv1a_bits(metrics);
+  if (h != kGolden) {
+    std::printf("golden metric vector (%zu doubles):\n", metrics.size());
+    for (const double d : metrics) std::printf("  %.17g\n", d);
+    std::printf("hash: 0x%016llx\n",
+                static_cast<unsigned long long>(h));
+  }
+  EXPECT_EQ(h, kGolden)
+      << "fig1 metric vector changed bit-for-bit; see stdout for values";
+}
+
+}  // namespace
+}  // namespace g80211

@@ -287,6 +287,82 @@ TEST_F(PhyChannelTest, InterferenceSumSurvivesOverlapChurn) {
   EXPECT_EQ(l.received[1].frame.true_tx, 0);
 }
 
+TEST_F(PhyChannelTest, LinkTableServedFromCacheUntilTopologyChanges) {
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {5, 0});
+  const auto& warm = channel_.neighbors_of(&tx);
+  ASSERT_EQ(warm.size(), 1u);
+  const std::uint64_t rebuilds = channel_.link_tables_rebuilt();
+  // Repeated queries and repeated transmissions reuse the table.
+  channel_.neighbors_of(&tx);
+  tx.transmit(data_frame(0, 1), microseconds(200));
+  sched_.run();
+  EXPECT_EQ(channel_.link_tables_rebuilt(), rebuilds);
+  // A no-op move (zero-velocity mobility tick) must keep the cache warm.
+  tx.set_position({0, 0});
+  channel_.neighbors_of(&tx);
+  EXPECT_EQ(channel_.link_tables_rebuilt(), rebuilds);
+}
+
+TEST_F(PhyChannelTest, MovedNodeMatchesFreshlyBuiltChannel) {
+  channel_.set_ranges(50.0, 100.0);
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {10, 0});
+  Phy& roamer = add_phy(2, {200, 0});  // out of sensing range entirely
+  ASSERT_EQ(channel_.neighbors_of(&tx).size(), 1u);  // warm the cache
+  const std::uint64_t rebuilds = channel_.link_tables_rebuilt();
+
+  // Mid-simulation move into decode range must invalidate the warm table.
+  roamer.set_position({20, 0});
+  const auto& cached = channel_.neighbors_of(&tx);
+  EXPECT_EQ(channel_.link_tables_rebuilt(), rebuilds + 1);
+
+  // The rebuilt table must be indistinguishable from a channel built from
+  // scratch at the post-move positions: same membership, same order, same
+  // rx power bits, same decodability.
+  Scheduler sched2;
+  Channel chan2(sched2, WifiParams::b11());
+  chan2.set_ranges(50.0, 100.0);
+  Phy t2(chan2, 0, {0, 0}, Rng(100));
+  Phy n2(chan2, 1, {10, 0}, Rng(101));
+  Phy r2(chan2, 2, {20, 0}, Rng(102));
+  const auto& fresh = chan2.neighbors_of(&t2);
+  ASSERT_EQ(cached.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(cached[i].rx->id(), fresh[i].rx->id());
+    EXPECT_EQ(cached[i].rx_power_w, fresh[i].rx_power_w);
+    EXPECT_EQ(cached[i].decodable, fresh[i].decodable);
+  }
+
+  // And the full delivery path agrees: the roamer now receives.
+  tx.transmit(data_frame(0, 1), microseconds(500));
+  sched_.run();
+  ASSERT_EQ(listener(2).received.size(), 1u);
+  EXPECT_FALSE(listener(2).received[0].info.corrupted);
+}
+
+TEST_F(PhyChannelTest, MovedOutOfRangeNodeLeavesSensedSet) {
+  channel_.set_ranges(50.0, 100.0);
+  Phy& tx = add_phy(0, {0, 0});
+  Phy& leaver = add_phy(1, {10, 0});
+  ASSERT_EQ(channel_.neighbors_of(&tx).size(), 1u);
+  leaver.set_position({500, 0});
+  EXPECT_TRUE(channel_.neighbors_of(&tx).empty());
+  tx.transmit(data_frame(0, 1), microseconds(500));
+  sched_.run();
+  EXPECT_TRUE(listener(1).received.empty());
+  EXPECT_EQ(listener(1).busy_edges, 0);
+}
+
+TEST_F(PhyChannelTest, PropagationChangeInvalidatesCachedRxPower) {
+  Phy& tx = add_phy(0, {0, 0});
+  add_phy(1, {5, 0});
+  const double before = channel_.neighbors_of(&tx)[0].rx_power_w;
+  channel_.propagation().set_tx_power_w(channel_.propagation().tx_power_w() * 2.0);
+  const double after = channel_.neighbors_of(&tx)[0].rx_power_w;
+  EXPECT_EQ(after, 2.0 * before) << "cached rx power must track tx power";
+}
+
 TEST_F(PhyChannelTest, BackToBackTransmissionsBothDelivered) {
   Phy& tx = add_phy(0, {0, 0});
   add_phy(1, {5, 0});
