@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "src/capture/capture_writer.h"
 
 using namespace g80211;
 using namespace g80211::bench;
@@ -34,6 +35,9 @@ void run(benchmark::State& state) {
     };
     char label[32];
     std::snprintf(label, sizeof(label), "%g", to_millis(inflation));
+    // Opt-in per-run frame captures next to the exported metrics
+    // (G80211_CAPTURE=1 + G80211_METRICS_DIR; "" keeps captures off).
+    spec.capture_stem = run_capture_stem("fig1_udp_cts_nav", label);
     campaign.add(pairs_goodput_job(label, to_millis(inflation), std::move(spec),
                                    default_runs(), 100));
   }

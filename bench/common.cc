@@ -1,5 +1,9 @@
 #include "bench/common.h"
 
+#include <memory>
+
+#include "src/capture/capture_writer.h"
+
 namespace g80211::bench {
 
 SimConfig base_config(Standard standard, std::uint64_t seed) {
@@ -34,7 +38,18 @@ PairsResult run_pairs(const PairsSpec& spec, std::uint64_t seed) {
     }
   }
   if (spec.customize) spec.customize(sim, senders, receivers);
+  // Per-run capture at the first sender's vantage (the station GRC
+  // detectors attach to in the paper's scenarios). Attached after
+  // customize() so the capture also journals detector-driven behaviour;
+  // attaching draws no randomness, so the run itself is unperturbed.
+  std::unique_ptr<CaptureWriter> capture;
+  if (!spec.capture_stem.empty() && !senders.empty()) {
+    capture = std::make_unique<CaptureWriter>(
+        sim.scheduler(), spec.capture_stem + "_seed" + std::to_string(seed));
+    capture->attach(senders[0]->mac());
+  }
   sim.run();
+  if (capture) capture->close();
 
   PairsResult out;
   for (int i = 0; i < spec.n_pairs; ++i) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/runner/campaign.h"
@@ -31,6 +32,11 @@ struct PairsSpec {
   bool tcp = true;
   double udp_rate_mbps = 12.0;
   SimConfig cfg;
+  // When non-empty, record a frame capture of each run at the first
+  // sender's vantage to `<capture_stem>_seed<seed>.{pcap,jsonl}` (see
+  // src/capture/). Benches set this from run_capture_stem(), which returns
+  // "" unless G80211_CAPTURE=1, so default runs stay bit-identical.
+  std::string capture_stem;
   // Called after nodes/flows exist, before the run: install greedy
   // policies, GRC, per-link error rates, ...
   std::function<void(Sim&, std::vector<Node*>& senders,

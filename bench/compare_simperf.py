@@ -18,7 +18,11 @@ Usage:
     the baseline's)
 
 Exit status: 0 when every benchmark is within threshold, 1 on regression,
-2 on usage/IO errors. Absolute times vary across machines — the gate is
+2 on usage/IO errors, 3 when the baseline file does not exist (a fresh
+checkout or machine with no recorded baseline — record one with --update,
+which works without a pre-existing file). CI and scripts can tell "no
+baseline yet" (3: record one) apart from "the engine got slower" (1: fix
+or justify it). Absolute times vary across machines — the gate is
 meant to compare runs on the *same* machine (e.g. before/after a change,
 or CI runners of one type); refresh the baseline with --update after an
 intentional engine change. The run's context (CPU count, library build
@@ -97,9 +101,23 @@ def main():
                     help="print regressions but always exit 0")
     args = ap.parse_args()
 
+    baseline_doc = {}
+    if os.path.exists(args.baseline):
+        try:
+            with open(args.baseline) as f:
+                baseline_doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"compare_simperf: {e}", file=sys.stderr)
+            return 2
+    elif not args.update:
+        # Distinct exit code: "no baseline recorded" is a setup gap, not a
+        # perf regression — callers must not conflate the two.
+        print(f"compare_simperf: baseline not found: {args.baseline}\n"
+              f"record one with: {sys.argv[0]} <target> --update",
+              file=sys.stderr)
+        return 3
+
     try:
-        with open(args.baseline) as f:
-            baseline_doc = json.load(f)
         fresh_doc = fresh_run(args.target)
     except (OSError, RuntimeError, json.JSONDecodeError) as e:
         print(f"compare_simperf: {e}", file=sys.stderr)

@@ -49,10 +49,17 @@ class NavValidator {
   }
   std::int64_t frames_validated() const { return validated_; }
 
- private:
+  // Replay entry points (offline capture pipeline, src/capture/replay.h):
+  // exactly the two calls attach() wires live — observe() is the sniffer
+  // chain (exchange-context learning, every overheard frame), validate()
+  // is the nav_filter (counts a detection and returns the corrected
+  // Duration). The scheduler passed at construction must be advanced to
+  // each frame's reception time before calling, so the RTS/fragment
+  // context windows see the same clock as a live run.
   void observe(const Frame& frame, const RxInfo& info);
   Time validate(const Frame& frame, const RxInfo& info);
 
+ private:
   struct RtsSeen {
     Time duration = 0;  // already bounded by the max-MTU RTS rule
     Time heard_at = 0;

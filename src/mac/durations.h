@@ -8,6 +8,7 @@
 // validator uses as the expected values.
 #pragma once
 
+#include "src/mac/frame.h"
 #include "src/phy/wifi_params.h"
 #include "src/sim/time.h"
 
@@ -39,5 +40,17 @@ struct Durations {
   static Time max_cts(const WifiParams& p) { return cts(p, kMaxMtuPacket); }
   static Time max_rts(const WifiParams& p) { return rts(p, kMaxMtuPacket); }
 };
+
+// On-air MAC length of a frame in bytes (header + payload + FCS) — what a
+// sniffer would report as the frame length.
+inline int on_air_bytes(const WifiParams& p, const Frame& f) {
+  switch (f.type) {
+    case FrameType::kRts: return p.rts_bytes;
+    case FrameType::kCts: return p.cts_bytes;
+    case FrameType::kAck: return p.ack_bytes;
+    case FrameType::kData: return p.data_mac_overhead_bytes + f.air_bytes();
+  }
+  return 0;
+}
 
 }  // namespace g80211

@@ -221,6 +221,14 @@ void Mac::on_backoff_expired() {
   transmit_current();
 }
 
+// Single exit onto the air: notify the transmit tap, then key the PHY.
+// Every transmission (initial access and SIFS responses alike) goes
+// through here so a capture sees exactly what the radio emitted.
+void Mac::transmit_frame(const Frame& frame, Time airtime) {
+  if (tx_sniffer) tx_sniffer(frame, sched_->now(), sched_->now() + airtime);
+  phy_->transmit(frame, airtime);
+}
+
 void Mac::transmit_current() {
   if (!current_ || phy_->transmitting()) return;
   // Broadcast frames use basic access: no RTS/CTS, no ACK.
@@ -248,7 +256,7 @@ void Mac::send_rts() {
   f.uid = next_frame_uid_++;
   ++stats_.rts_sent;
   on_air_ = TxKind::kRts;
-  phy_->transmit(f, params_.rts_tx_time());
+  transmit_frame(f, params_.rts_tx_time());
 }
 
 void Mac::send_data() {
@@ -263,7 +271,7 @@ void Mac::send_data() {
     ++dc.retries;
   }
   on_air_ = TxKind::kData;
-  phy_->transmit(f, params_.data_tx_time_at(f.air_bytes(), f.rate_mbps));
+  transmit_frame(f, params_.data_tx_time_at(f.air_bytes(), f.rate_mbps));
 }
 
 void Mac::on_tx_end() {
@@ -344,7 +352,7 @@ void Mac::fire_response() {
       break;
   }
   on_air_ = kind;
-  phy_->transmit(f, airtime);
+  transmit_frame(f, airtime);
 }
 
 // ---------------------------------------------------------------------------

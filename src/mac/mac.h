@@ -120,6 +120,11 @@ class Mac : public PhyListener {
   // Observation tap: every decodable frame this station hears (including
   // its own ACKs' triggers); used by detectors that learn RSSI profiles.
   std::function<void(const Frame&, const RxInfo&)> sniffer;
+  // Transmit-side tap: every frame this station keys onto the air, with its
+  // transmission start/end times. Chained like `sniffer`. Together the two
+  // taps give a capture the complete frame stream at this vantage point
+  // (the capture subsystem records both; see src/capture/).
+  std::function<void(const Frame&, Time start, Time end)> tx_sniffer;
   // Sender-side completion tap: (packet, mac_acked).
   std::function<void(const PacketPtr&, bool)> tx_done_cb;
 
@@ -172,6 +177,7 @@ class Mac : public PhyListener {
   void pause_backoff();
   void on_backoff_expired();
   void start_service();        // dequeue next packet, draw backoff
+  void transmit_frame(const Frame& frame, Time airtime);  // tx tap + PHY
   void transmit_current();
   void send_rts();
   void send_data();

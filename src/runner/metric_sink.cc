@@ -8,8 +8,8 @@
 namespace g80211 {
 namespace {
 
-// Escape for both JSON strings and quoted CSV cells (labels are plain
-// sweep-axis values; this just keeps odd characters from corrupting rows).
+// Escape for JSON strings (labels are plain sweep-axis values; this just
+// keeps odd characters from corrupting rows).
 std::string escaped(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -22,6 +22,21 @@ std::string escaped(const std::string& s) {
       default: out += c;
     }
   }
+  return out;
+}
+
+// Quote a CSV cell per RFC 4180: wrap in double quotes, double any
+// embedded quote. Applied to every string column uniformly, so a label
+// like `rate="5,5"` survives a round trip through any CSV reader.
+std::string csv_quoted(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
   return out;
 }
 
@@ -75,9 +90,9 @@ void MetricSink::write(const MetricRow& row) {
                escaped(row.figure).c_str(), escaped(row.label).c_str(),
                escaped(row.metric).c_str(), row.median, row.p25, row.p75,
                row.n_runs, row.seed, row.wall_ms);
-  std::fprintf(csv_, "%s,\"%s\",%s,%.17g,%.17g,%.17g,%d,%" PRIu64 ",%.3f\n",
-               escaped(row.figure).c_str(), escaped(row.label).c_str(),
-               escaped(row.metric).c_str(), row.median, row.p25, row.p75,
+  std::fprintf(csv_, "%s,%s,%s,%.17g,%.17g,%.17g,%d,%" PRIu64 ",%.3f\n",
+               csv_quoted(row.figure).c_str(), csv_quoted(row.label).c_str(),
+               csv_quoted(row.metric).c_str(), row.median, row.p25, row.p75,
                row.n_runs, row.seed, row.wall_ms);
 }
 

@@ -3,14 +3,17 @@
 #include <cstdio>
 #include <utility>
 
+#include "src/mac/durations.h"
+
 namespace g80211 {
 
 std::string TraceRecord::to_string() const {
-  char buf[160];
+  // Layout is stable for downstream greps; new flags append after seq.
+  char buf[176];
   std::snprintf(buf, sizeof(buf),
-                "%12.6fs %-4s ta=%-3d ra=%-3d dur=%8.1fus seq=%-5d%s%s%s",
+                "%12.6fs %-4s ta=%-3d ra=%-3d dur=%8.1fus seq=%-5d%s%s%s%s",
                 to_seconds(start), frame_type_name(type), ta, ra,
-                to_micros(duration), seq,
+                to_micros(duration), seq, retry ? " retry" : "",
                 more_frags ? " frag+" : (frag > 0 ? " frag." : ""),
                 corrupted ? " CORRUPT" : "", collided ? " COLLISION" : "");
   return buf;
@@ -18,7 +21,8 @@ std::string TraceRecord::to_string() const {
 
 void FrameTracer::attach(Mac& mac) {
   auto prev = std::move(mac.sniffer);
-  mac.sniffer = [this, prev = std::move(prev)](const Frame& f, const RxInfo& i) {
+  mac.sniffer = [this, params = mac.params(), prev = std::move(prev)](
+                    const Frame& f, const RxInfo& i) {
     if (prev) prev(f, i);
     TraceRecord r;
     r.start = i.start;
@@ -32,6 +36,8 @@ void FrameTracer::attach(Mac& mac) {
     r.seq = f.seq;
     r.frag = f.frag_index;
     r.more_frags = f.more_frags;
+    r.retry = f.retry;
+    r.bytes = on_air_bytes(params, f);
     r.rssi_dbm = i.rssi_dbm;
     if (on_record) on_record(r);
     records_.push_back(std::move(r));

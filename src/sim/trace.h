@@ -28,6 +28,8 @@ struct TraceRecord {
   int seq = 0;
   int frag = 0;
   bool more_frags = false;
+  bool retry = false;       // MAC Retry bit
+  int bytes = 0;            // on-air MAC length incl. FCS
   double rssi_dbm = 0.0;
 
   std::string to_string() const;

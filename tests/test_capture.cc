@@ -1,0 +1,423 @@
+// Capture subsystem: pcap/JSONL round trips, strict-parser rejection of
+// corrupt files, the committed golden fixture, and the headline guarantee
+// of src/capture/replay.h — offline replay of a recorded run reproduces
+// the live GRC detector verdicts exactly (same flagged stations, same
+// counts) for NAV inflation, ACK spoofing, and fake-ACK misbehavior.
+//
+// All capture files are written under capture_test_artifacts/ in the test
+// working directory; CI uploads that directory when the suite fails, so a
+// red run ships the capture that broke it. Set G80211_REGEN_GOLDEN=1 to
+// rewrite the committed fixtures in G80211_TEST_DATA_DIR instead of
+// comparing against them (do this only for an intended format change, and
+// say so in the commit message).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/capture/capture_reader.h"
+#include "src/capture/capture_writer.h"
+#include "src/capture/replay.h"
+#include "src/detect/fake_ack_detector.h"
+#include "src/detect/nav_validator.h"
+#include "src/detect/spoof_detector.h"
+#include "src/greedy/nav_inflation.h"
+#include "src/phy/error_model.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/topology.h"
+
+namespace g80211 {
+namespace {
+
+std::string artifact_stem(const char* name) {
+  std::filesystem::create_directories("capture_test_artifacts");
+  return std::string("capture_test_artifacts/") + name;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+std::string slurp_text(const std::string& path) {
+  const auto bytes = slurp(path);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Re-serialise a parsed capture with the writers' pure serialisation
+// primitives (what CaptureWriter streams, byte for byte).
+std::vector<std::uint8_t> reserialize_pcap(const Capture& cap) {
+  std::vector<std::uint8_t> out = PcapWriter::serialize_header();
+  for (const CapturedFrame& f : cap.frames) {
+    const auto rec = PcapWriter::serialize_record(f);
+    out.insert(out.end(), rec.begin(), rec.end());
+  }
+  return out;
+}
+
+std::string reserialize_jsonl(const Capture& cap) {
+  std::string out = JsonlWriter::header_line(cap.owner, cap.params) + "\n";
+  for (const CapturedFrame& f : cap.frames) {
+    out += JsonlWriter::frame_line(f) + "\n";
+  }
+  out += JsonlWriter::footer_line(cap.end_time) + "\n";
+  return out;
+}
+
+// --- fixed scenarios ----------------------------------------------------------
+//
+// Each returns with the capture files written and closed; configs are fully
+// explicit so G80211_QUICK (set by ctest) has no effect.
+
+struct NavLive {
+  std::int64_t validated = 0;
+  std::int64_t detections = 0;
+  std::map<int, std::int64_t> by_node;
+};
+
+// Two UDP pairs, the second receiver inflating its CTS NAV by 31 ms
+// (grc_defense scenario 1). Vantage and NAV validator: the victim sender.
+NavLive run_nav_scenario(const std::string& stem, std::uint64_t seed,
+                         Time measure, bool with_validator) {
+  SimConfig cfg;
+  cfg.warmup = milliseconds(10);
+  cfg.measure = measure;
+  cfg.seed = seed;
+  Sim sim(cfg);
+  const PairLayout l = pairs_in_range(2);
+  Node& ns = sim.add_node(l.senders[0]);
+  Node& gs = sim.add_node(l.senders[1]);
+  Node& nr = sim.add_node(l.receivers[0]);
+  Node& gr = sim.add_node(l.receivers[1]);
+  sim.add_udp_flow(ns, nr);
+  sim.add_udp_flow(gs, gr);
+  sim.make_nav_inflator(gr, NavFrameMask::cts_only(), milliseconds(31));
+
+  CaptureWriter capture(sim.scheduler(), stem);
+  capture.attach(ns.mac());
+  NavValidator validator(sim.scheduler(), sim.params());
+  if (with_validator) validator.attach(ns.mac());
+
+  sim.run();
+  capture.close();
+  return NavLive{validator.frames_validated(), validator.detections(),
+                 validator.detections_by_node()};
+}
+
+}  // namespace
+
+// --- round trips --------------------------------------------------------------
+
+TEST(CaptureRoundTrip, PcapByteExact) {
+  const std::string stem = artifact_stem("roundtrip");
+  run_nav_scenario(stem, 21, milliseconds(200), false);
+
+  const std::vector<std::uint8_t> original = slurp(stem + ".pcap");
+  const Capture cap = read_pcap(stem + ".pcap");
+  ASSERT_GT(cap.frames.size(), 100u);
+  EXPECT_EQ(cap.skipped_unknown, 0);
+  EXPECT_FALSE(cap.has_params);
+
+  // Parse -> serialise reproduces the file byte for byte...
+  EXPECT_EQ(reserialize_pcap(cap), original);
+  // ...and the reparse of the reserialisation is the same frame list
+  // (serialisation is a fixed point after one quantisation).
+  EXPECT_EQ(parse_pcap(reserialize_pcap(cap)).frames, cap.frames);
+}
+
+TEST(CaptureRoundTrip, JsonlByteExact) {
+  const std::string stem = artifact_stem("roundtrip");
+  run_nav_scenario(stem, 21, milliseconds(200), false);
+
+  const std::string original = slurp_text(stem + ".jsonl");
+  const Capture cap = read_jsonl(stem + ".jsonl");
+  ASSERT_GT(cap.frames.size(), 100u);
+  ASSERT_TRUE(cap.has_params);
+  EXPECT_EQ(cap.owner, 0);  // first node added = the victim sender
+  EXPECT_EQ(cap.params.slot, WifiParams::b11().slot);
+
+  EXPECT_EQ(reserialize_jsonl(cap), original);
+  const Capture again = parse_jsonl(reserialize_jsonl(cap));
+  EXPECT_EQ(again.frames, cap.frames);
+  EXPECT_EQ(again.owner, cap.owner);
+  EXPECT_EQ(again.end_time, cap.end_time);
+
+  // The journal carries both sides of the vantage: transmissions and
+  // receptions, with exact edges.
+  bool saw_tx = false, saw_rx = false;
+  for (const CapturedFrame& f : cap.frames) {
+    (f.tx ? saw_tx : saw_rx) = true;
+    EXPECT_GE(f.end, f.start);
+  }
+  EXPECT_TRUE(saw_tx);
+  EXPECT_TRUE(saw_rx);
+}
+
+// --- strict parsing -----------------------------------------------------------
+
+TEST(CaptureReader, RejectsCorruptFiles) {
+  const std::string stem = artifact_stem("corrupt");
+  run_nav_scenario(stem, 22, milliseconds(50), false);
+
+  const std::vector<std::uint8_t> pcap = slurp(stem + ".pcap");
+  const std::string jsonl = slurp_text(stem + ".jsonl");
+  ASSERT_GT(pcap.size(), 80u);
+
+  // pcap: wrong magic.
+  {
+    std::vector<std::uint8_t> bad = pcap;
+    bad[0] ^= 0xff;
+    EXPECT_THROW(parse_pcap(bad), std::runtime_error);
+  }
+  // pcap: truncated mid-record.
+  {
+    std::vector<std::uint8_t> bad(pcap.begin(), pcap.begin() + 50);
+    EXPECT_THROW(parse_pcap(bad), std::runtime_error);
+  }
+  // pcap: an address outside the simulator's OUI scheme. The first
+  // record's addr1 starts after the record header (16), radiotap (11),
+  // FC (2) and Duration (2).
+  {
+    std::vector<std::uint8_t> bad = pcap;
+    bad[24 + 16 + 11 + 4] = 0xaa;
+    EXPECT_THROW(parse_pcap(bad), std::runtime_error);
+  }
+  // jsonl: missing footer = truncated capture.
+  {
+    const std::size_t cut = jsonl.rfind("{\"" + std::string(kJsonlFooterKey));
+    ASSERT_NE(cut, std::string::npos);
+    EXPECT_THROW(parse_jsonl(jsonl.substr(0, cut)), std::runtime_error);
+  }
+  // jsonl: a line that is not JSON.
+  {
+    std::string bad = jsonl;
+    bad.insert(bad.find('\n') + 1, "not json\n");
+    EXPECT_THROW(parse_jsonl(bad), std::runtime_error);
+  }
+  // jsonl: file that never was a capture.
+  EXPECT_THROW(parse_jsonl("{\"foo\":1}\n"), std::runtime_error);
+  EXPECT_THROW(parse_jsonl(""), std::runtime_error);
+}
+
+TEST(CaptureReader, SkipsUnknownPcapRecords) {
+  const std::string stem = artifact_stem("unknown");
+  run_nav_scenario(stem, 23, milliseconds(50), false);
+
+  std::vector<std::uint8_t> bytes = slurp(stem + ".pcap");
+  const Capture clean = parse_pcap(bytes);
+  ASSERT_GT(clean.frames.size(), 10u);
+
+  // Rewrite the first record's Frame Control byte to a management frame
+  // (a beacon): unknown to the parser, skipped and counted, not fatal.
+  bytes[24 + 16 + 11] = 0x80;
+  const Capture cap = parse_pcap(bytes);
+  EXPECT_EQ(cap.skipped_unknown, 1);
+  EXPECT_EQ(cap.frames.size(), clean.frames.size() - 1);
+}
+
+TEST(CaptureReader, DispatchesByContent) {
+  const std::string stem = artifact_stem("dispatch");
+  run_nav_scenario(stem, 24, milliseconds(50), false);
+  EXPECT_FALSE(read_capture(stem + ".pcap").has_params);
+  EXPECT_TRUE(read_capture(stem + ".jsonl").has_params);
+}
+
+TEST(Replay, RequiresTheJsonlJournal) {
+  const std::string stem = artifact_stem("dispatch");
+  run_nav_scenario(stem, 24, milliseconds(50), false);
+  const Capture pcap = read_pcap(stem + ".pcap");
+  EXPECT_THROW(replay_capture(pcap), std::runtime_error);
+}
+
+// --- live vs replay equivalence ----------------------------------------------
+
+TEST(Replay, MatchesLiveNavValidatorVerdicts) {
+  const std::string stem = artifact_stem("equiv_nav");
+  const NavLive live = run_nav_scenario(stem, 11, seconds(1), true);
+  ASSERT_GT(live.validated, 0);
+  ASSERT_GT(live.detections, 0) << "scenario must exercise the attack";
+
+  const ReplayResult offline = replay_capture(read_jsonl(stem + ".jsonl"));
+  EXPECT_EQ(offline.nav_validated, live.validated);
+  EXPECT_EQ(offline.nav_detections, live.detections);
+  EXPECT_EQ(offline.nav_detections_by_node, live.by_node);
+}
+
+TEST(Replay, MatchesLiveSpoofDetectorVerdicts) {
+  // grc_defense scenario 2: two TCP pairs, the far receiver spoofing MAC
+  // ACKs for the victim flow, channel lossy enough that spoofs matter.
+  SimConfig cfg;
+  cfg.warmup = milliseconds(10);
+  cfg.measure = seconds(2);
+  cfg.seed = 11;
+  cfg.default_ber = 2e-4;
+  cfg.capture_threshold = 10.0;
+  Sim sim(cfg);
+  const PairLayout l = pairs_in_range(2);
+  Node& ns = sim.add_node(l.senders[0]);
+  Node& gs = sim.add_node(l.senders[1]);
+  Node& nr = sim.add_node(l.receivers[0]);
+  Node& gr = sim.add_node(l.receivers[1]);
+  sim.add_tcp_flow(ns, nr);
+  sim.add_tcp_flow(gs, gr);
+  sim.make_ack_spoofer(gr, 1.0, {nr.id()});
+
+  const std::string stem = artifact_stem("equiv_spoof");
+  CaptureWriter capture(sim.scheduler(), stem);
+  capture.attach(ns.mac());
+  SpoofDetector detector(1.0);
+  detector.attach(ns.mac());
+
+  sim.run();
+  capture.close();
+  const std::int64_t live_checked = detector.true_positives() +
+                                    detector.false_positives() +
+                                    detector.true_negatives() +
+                                    detector.false_negatives();
+  ASSERT_GT(live_checked, 0);
+  ASSERT_GT(detector.flagged(), 0) << "scenario must exercise the attack";
+
+  const ReplayResult offline = replay_capture(read_jsonl(stem + ".jsonl"));
+  EXPECT_EQ(offline.acks_checked, live_checked);
+  EXPECT_EQ(offline.spoof_tp, detector.true_positives());
+  EXPECT_EQ(offline.spoof_fp, detector.false_positives());
+  EXPECT_EQ(offline.spoof_tn, detector.true_negatives());
+  EXPECT_EQ(offline.spoof_fn, detector.false_negatives());
+  EXPECT_EQ(offline.spoof_flagged(), detector.flagged());
+  EXPECT_EQ(offline.acks_ignored,
+            static_cast<std::int64_t>(ns.mac().stats().acks_ignored));
+}
+
+TEST(Replay, MatchesLiveFakeAckVerdict) {
+  // grc_defense scenario 3: one UDP pair over a 50% FER link, the receiver
+  // faking ACKs for frames it could not decode; the sender probes.
+  SimConfig cfg;
+  cfg.warmup = milliseconds(10);
+  cfg.measure = seconds(4);
+  cfg.seed = 11;
+  cfg.rts_cts = false;
+  Sim sim(cfg);
+  const PairLayout l = pairs_in_range(1);
+  Node& gs = sim.add_node(l.senders[0]);
+  Node& gr = sim.add_node(l.receivers[0]);
+  sim.channel().error_model().set_link_ber(
+      gs.id(), gr.id(),
+      ErrorModel::ber_for_fer(0.5, ErrorModel::error_len(FrameType::kData, 1064)));
+  sim.add_udp_flow(gs, gr, 1.0);
+  sim.make_fake_acker(gr, 1.0);
+
+  const std::string stem = artifact_stem("equiv_fakeack");
+  CaptureWriter capture(sim.scheduler(), stem);
+  capture.attach(gs.mac());
+  FakeAckDetector::Config dc;
+  dc.probe_payload_bytes = 512;
+  FakeAckDetector detector(sim.scheduler(), gs, gr.id(), sim.reserve_flow_id(),
+                           dc);
+  detector.start(0);
+
+  sim.run();
+  capture.close();
+  ASSERT_TRUE(detector.detected()) << "scenario must exercise the attack";
+
+  const ReplayResult offline = replay_capture(read_jsonl(stem + ".jsonl"));
+  ASSERT_EQ(offline.fake_ack.size(), 1u);
+  const FakeAckVerdict& v = offline.fake_ack[0];
+  EXPECT_EQ(v.dest, gr.id());
+  EXPECT_EQ(v.probes_seen, detector.probes_sent());
+  EXPECT_EQ(v.mac_loss, detector.mac_loss());
+  EXPECT_EQ(v.application_loss, detector.application_loss());
+  EXPECT_EQ(v.expected_app_loss, detector.expected_app_loss());
+  EXPECT_EQ(v.detected, detector.detected());
+}
+
+TEST(Replay, HonestRunRaisesNoVerdicts) {
+  // Same topology as the NAV scenario but with everyone honest: replay
+  // must validate plenty of frames and flag none.
+  SimConfig cfg;
+  cfg.warmup = milliseconds(10);
+  cfg.measure = seconds(1);
+  cfg.seed = 12;
+  Sim sim(cfg);
+  const PairLayout l = pairs_in_range(2);
+  Node& ns = sim.add_node(l.senders[0]);
+  Node& gs = sim.add_node(l.senders[1]);
+  Node& nr = sim.add_node(l.receivers[0]);
+  Node& gr = sim.add_node(l.receivers[1]);
+  sim.add_udp_flow(ns, nr);
+  sim.add_udp_flow(gs, gr);
+  (void)gs;
+  (void)gr;
+
+  const std::string stem = artifact_stem("honest");
+  CaptureWriter capture(sim.scheduler(), stem);
+  capture.attach(ns.mac());
+  sim.run();
+  capture.close();
+
+  const ReplayResult offline = replay_capture(read_jsonl(stem + ".jsonl"));
+  EXPECT_GT(offline.nav_validated, 0);
+  EXPECT_EQ(offline.nav_detections, 0);
+  for (const FakeAckVerdict& v : offline.fake_ack) EXPECT_FALSE(v.detected);
+}
+
+// --- golden fixture -----------------------------------------------------------
+
+#ifndef G80211_TEST_DATA_DIR
+#define G80211_TEST_DATA_DIR "tests/data"
+#endif
+
+TEST(CaptureGolden, CommittedFixtureIsBitStable) {
+  // Regenerate the fixture scenario and compare byte-for-byte against the
+  // committed files: any drift in the capture byte format (or in the
+  // simulation it records) fails here. With G80211_REGEN_GOLDEN=1 the
+  // fixtures are rewritten instead (for intended format changes only).
+  const std::string stem = artifact_stem("golden_regen");
+  run_nav_scenario(stem, 7, milliseconds(100), false);
+
+  const std::string data_dir = G80211_TEST_DATA_DIR;
+  const std::string golden_pcap = data_dir + "/golden_capture.pcap";
+  const std::string golden_jsonl = data_dir + "/golden_capture.jsonl";
+
+  if (const char* regen = std::getenv("G80211_REGEN_GOLDEN");
+      regen && std::string(regen) == "1") {
+    std::filesystem::create_directories(data_dir);
+    spit(golden_pcap, slurp(stem + ".pcap"));
+    spit(golden_jsonl, slurp(stem + ".jsonl"));
+    GTEST_SKIP() << "golden capture fixtures regenerated";
+  }
+
+  EXPECT_EQ(slurp(stem + ".pcap"), slurp(golden_pcap))
+      << "capture pcap byte format drifted from the committed fixture";
+  EXPECT_EQ(slurp_text(stem + ".jsonl"), slurp_text(golden_jsonl))
+      << "capture jsonl format drifted from the committed fixture";
+
+  // The committed fixture itself must parse and replay: the journal
+  // records the 31 ms CTS inflation attack, so offline detection flags
+  // the greedy receiver (station 3) without any live simulation.
+  const Capture cap = read_capture(golden_jsonl);
+  const ReplayResult res = replay_capture(cap);
+  EXPECT_GT(res.nav_validated, 0);
+  EXPECT_GT(res.nav_detections, 0);
+  ASSERT_EQ(res.nav_detections_by_node.size(), 1u);
+  EXPECT_EQ(res.nav_detections_by_node.begin()->first, 3);
+
+  const Capture pc = read_capture(golden_pcap);
+  EXPECT_EQ(pc.frames.size(), cap.frames.size());
+  EXPECT_EQ(pc.skipped_unknown, 0);
+}
+
+}  // namespace g80211

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <vector>
 
 #include "bench/common.h"
@@ -41,6 +42,13 @@ std::uint64_t fnv1a_bits(const std::vector<double>& values) {
 }
 
 TEST(GoldenFig1, MetricVectorBitIdentical) {
+  // Record a capture during the first sweep point (both seeds). The hash
+  // below must not move: attaching a capture draws no randomness and must
+  // leave the simulated run bit-identical. The files double as CI
+  // artifacts — the workflow uploads capture_test_artifacts/ when this
+  // test (or the capture suite) fails, so a red run ships its evidence.
+  std::filesystem::create_directories("capture_test_artifacts");
+
   std::vector<double> metrics;
   for (const Time inflation :
        {microseconds(0), microseconds(600), milliseconds(2)}) {
@@ -51,6 +59,9 @@ TEST(GoldenFig1, MetricVectorBitIdentical) {
     spec.cfg.rts_cts = true;
     spec.cfg.warmup = milliseconds(500);
     spec.cfg.measure = seconds(2);
+    if (inflation == 0) {
+      spec.capture_stem = "capture_test_artifacts/golden_fig1";
+    }
     spec.customize = [inflation](Sim& sim, std::vector<Node*>&,
                                  std::vector<Node*>& rx) {
       if (inflation > 0) {

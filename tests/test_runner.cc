@@ -241,6 +241,85 @@ TEST(MetricSink, ExportIsThreadCountInvariant) {
   std::filesystem::remove_all(dir);
 }
 
+// CSV cells are RFC 4180-quoted uniformly: a label carrying commas and
+// quotes must survive a round trip through a standard CSV reader with the
+// column count intact (the header/row contract downstream tooling relies
+// on).
+TEST(MetricSink, CsvQuotingRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "g80211_csv_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(setenv("G80211_METRICS_DIR", dir.c_str(), 1), 0);
+
+  MetricRow row;
+  row.figure = "csv_quote_check";
+  row.label = "rate=\"5,5\",greedy";  // commas and embedded quotes
+  row.metric = "goodput,mbps";
+  row.median = 1.5;
+  row.p25 = 1.25;
+  row.p75 = 1.75;
+  row.n_runs = 5;
+  row.seed = 100;
+  {
+    MetricSink sink("csv_quote_check");
+    ASSERT_TRUE(sink.enabled());
+    sink.write(row);
+  }
+
+  // Minimal RFC 4180 reader: split one line into cells, honouring quoted
+  // cells with doubled embedded quotes.
+  const auto split_csv = [](const std::string& line) {
+    std::vector<std::string> cells;
+    std::string cell;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (quoted) {
+        if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else if (c == '"') {
+          quoted = false;
+        } else {
+          cell += c;
+        }
+      } else if (c == '"') {
+        quoted = true;
+      } else if (c == ',') {
+        cells.push_back(cell);
+        cell.clear();
+      } else {
+        cell += c;
+      }
+    }
+    cells.push_back(cell);
+    return cells;
+  };
+
+  std::ifstream in(dir / "csv_quote_check.csv");
+  std::string header, data;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, data));
+  const auto header_cells = split_csv(header);
+  const auto data_cells = split_csv(data);
+  ASSERT_EQ(header_cells.size(), 9u);
+  ASSERT_EQ(data_cells.size(), header_cells.size());
+  EXPECT_EQ(data_cells[0], row.figure);
+  EXPECT_EQ(data_cells[1], row.label);
+  EXPECT_EQ(data_cells[2], row.metric);
+  EXPECT_EQ(data_cells[6], "5");
+  EXPECT_EQ(data_cells[7], "100");
+
+  // The JSONL twin escapes the same label JSON-style.
+  std::ifstream jin(dir / "csv_quote_check.jsonl");
+  std::string jline;
+  ASSERT_TRUE(std::getline(jin, jline));
+  EXPECT_NE(jline.find("\"label\":\"rate=\\\"5,5\\\",greedy\""),
+            std::string::npos);
+
+  ASSERT_EQ(unsetenv("G80211_METRICS_DIR"), 0);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(MetricSink, DisabledWithoutEnvVar) {
   unsetenv("G80211_METRICS_DIR");
   MetricSink sink("nope");
