@@ -9,9 +9,9 @@
 #include "src/analysis/stats.h"
 #include "src/detect/backoff_monitor.h"
 #include "src/detect/nav_validator.h"
+#include "src/mac/frame_tracer.h"
 #include "src/scenario/scenario.h"
 #include "src/scenario/topology.h"
-#include "src/sim/trace.h"
 
 using namespace g80211;
 

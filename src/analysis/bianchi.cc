@@ -1,7 +1,8 @@
 #include "src/analysis/bianchi.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "src/sim/check.h"
 
 namespace g80211 {
 namespace {
@@ -18,7 +19,7 @@ double tau_of_p(double p, int w, int m) {
 
 BianchiResult bianchi_saturation(const WifiParams& params,
                                  const BianchiConfig& cfg) {
-  assert(cfg.n_stations >= 1);
+  G80211_CHECK(cfg.n_stations >= 1);
   const int w = params.cw_min + 1;
   const int n = cfg.n_stations;
 

@@ -1,8 +1,9 @@
 #include "src/analysis/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "src/sim/check.h"
 
 namespace g80211 {
 
@@ -27,7 +28,7 @@ double median(std::vector<double> v) {
 
 double percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0.0;
-  assert(p >= 0.0 && p <= 100.0);
+  G80211_CHECK(p >= 0.0 && p <= 100.0);
   std::sort(v.begin(), v.end());
   const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/mac/durations.h"
+#include "src/sim/check.h"
 
 namespace g80211 {
 
@@ -73,6 +74,10 @@ Time NavValidator::expected_duration(const Frame& frame) const {
 Time NavValidator::validate(const Frame& frame, const RxInfo& /*info*/) {
   ++validated_;
   const Time expected = expected_duration(frame);
+  // The validator may only ever *clamp* the advertised Duration; handing
+  // the MAC a value above the frame's own field (or a negative one) would
+  // itself corrupt the NAV it is defending.
+  G80211_DCHECK(expected >= 0 && expected <= frame.duration);
   if (frame.duration > expected + tolerance) {
     ++detections_;
     ++detections_by_node_[frame.true_tx];  // ground-truth attribution

@@ -1,4 +1,4 @@
-#include "src/sim/trace.h"
+#include "src/mac/frame_tracer.h"
 
 #include <cstdio>
 #include <utility>
@@ -39,23 +39,8 @@ void FrameTracer::attach(Mac& mac) {
     r.retry = f.retry;
     r.bytes = on_air_bytes(params, f);
     r.rssi_dbm = i.rssi_dbm;
-    if (on_record) on_record(r);
-    records_.push_back(std::move(r));
-    if (capacity_ > 0 && records_.size() > capacity_) records_.pop_front();
+    record(r);
   };
-}
-
-void FrameTracer::dump(std::ostream& os) const {
-  for (const auto& r : records_) os << r.to_string() << "\n";
-}
-
-std::int64_t FrameTracer::count(
-    const std::function<bool(const TraceRecord&)>& pred) const {
-  std::int64_t n = 0;
-  for (const auto& r : records_) {
-    if (pred(r)) ++n;
-  }
-  return n;
 }
 
 }  // namespace g80211

@@ -1,0 +1,47 @@
+// Frame-level tracing — the simulator's equivalent of ns-2's trace files /
+// tcpdump. A FrameTracer attaches to any station's MAC (promiscuous, so
+// one well-placed observer sees a whole hotspot) and records every frame
+// with timing, addressing, Duration, and corruption state. Useful for
+// debugging protocol behaviour and for the examples' annotated output.
+//
+// The storage/observer mechanism (TraceLog/TraceSink) lives in
+// src/sim/trace.h and is layer-neutral; this header supplies the
+// MAC-specific record type and the sniffer glue, keeping the dependency
+// pointing downward (mac/ -> sim/, never the reverse).
+#pragma once
+
+#include <string>
+
+#include "src/mac/mac.h"
+#include "src/sim/trace.h"
+
+namespace g80211 {
+
+struct TraceRecord {
+  Time start = 0;
+  Time end = 0;
+  FrameType type = FrameType::kData;
+  int ta = kNoAddr;
+  int ra = kNoAddr;
+  Time duration = 0;        // NAV field
+  bool corrupted = false;
+  bool collided = false;
+  int seq = 0;
+  int frag = 0;
+  bool more_frags = false;
+  bool retry = false;       // MAC Retry bit
+  int bytes = 0;            // on-air MAC length incl. FCS
+  double rssi_dbm = 0.0;
+
+  std::string to_string() const;
+};
+
+class FrameTracer : public TraceLog<TraceRecord> {
+ public:
+  using TraceLog<TraceRecord>::TraceLog;
+
+  // Chain onto a MAC's sniffer.
+  void attach(Mac& mac);
+};
+
+}  // namespace g80211

@@ -1,7 +1,6 @@
 #include "src/mac/mac.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace g80211 {
 

@@ -1,7 +1,8 @@
 #include "src/mac/rate_control.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/sim/check.h"
 
 namespace g80211 {
 
@@ -14,7 +15,7 @@ ArfRateController::ArfRateController(std::vector<double> ladder_mbps,
       down_threshold_(down_threshold),
       adaptive_(adaptive),
       current_up_threshold_(up_threshold) {
-  assert(!ladder_.empty());
+  G80211_CHECK(!ladder_.empty());
   index_ = std::clamp(index_, 0, static_cast<int>(ladder_.size()) - 1);
 }
 

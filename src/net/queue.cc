@@ -1,6 +1,7 @@
 #include "src/net/queue.h"
 
-#include <cassert>
+#include "src/sim/check.h"
+
 
 namespace g80211 {
 
@@ -14,7 +15,7 @@ bool DropTailQueue::push(PacketPtr p, int dest_mac) {
 }
 
 std::pair<PacketPtr, int> DropTailQueue::pop() {
-  assert(!q_.empty());
+  G80211_DCHECK(!q_.empty());
   auto front = std::move(q_.front());
   q_.pop_front();
   return front;

@@ -1,8 +1,9 @@
 #include "src/phy/error_model.h"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "src/sim/check.h"
 
 namespace g80211 {
 
@@ -26,7 +27,7 @@ double ErrorModel::fer(double ber, int len) {
 }
 
 double ErrorModel::ber_for_fer(double target_fer, int len) {
-  assert(target_fer >= 0.0 && target_fer < 1.0 && len > 0);
+  G80211_CHECK(target_fer >= 0.0 && target_fer < 1.0 && len > 0);
   if (target_fer <= 0.0) return 0.0;
   return 1.0 - std::pow(1.0 - target_fer, 1.0 / len);
 }
@@ -140,7 +141,7 @@ ErrorModel::CorruptionBreakdown ErrorModel::corruption_study(
   // Address2 (source) at 10-15.
   const int addr_bits = 6 * 8;
   const int other_bits = frame_bytes * 8 - 2 * addr_bits;
-  assert(other_bits > 0);
+  G80211_DCHECK(other_bits > 0);
   const double p_dest_ok = std::pow(1.0 - bit_ber, addr_bits);
   const double p_src_ok = p_dest_ok;
   const double p_rest_ok = std::pow(1.0 - bit_ber, other_bits);

@@ -1,6 +1,7 @@
 #include "src/phy/phy.h"
 
-#include <cassert>
+#include "src/sim/check.h"
+
 
 namespace g80211 {
 
@@ -23,7 +24,7 @@ void Phy::notify_edges(bool was_busy) {
 }
 
 void Phy::transmit(const Frame& frame, Time airtime) {
-  assert(!transmitting_ && "half-duplex PHY already transmitting");
+  G80211_DCHECK(!transmitting_ && "half-duplex PHY already transmitting");
   const bool was_busy = carrier_busy();
   // Half duplex: transmitting stomps any in-progress reception.
   current_rx_ = 0;
@@ -68,7 +69,7 @@ void Phy::incoming_start(const TxRecord& rec, double rss_w, double rss_dbm,
       }
     } else {
       const Ongoing* cur = find_ongoing(current_rx_);
-      assert(cur != nullptr);
+      G80211_DCHECK(cur != nullptr);
       if (cap > 0.0 && cur->rss_w >= cap * rss_w) {
         // Current frame powers through; newcomer is just interference.
       } else if (cap > 0.0 && decodable && rss_w >= cap * cur->rss_w) {
@@ -89,7 +90,7 @@ void Phy::incoming_start(const TxRecord& rec, double rss_w, double rss_dbm,
 void Phy::incoming_end(std::uint64_t tx_id) {
   std::size_t i = 0;
   while (i < ongoing_.size() && ongoing_[i].tx_id != tx_id) ++i;
-  assert(i < ongoing_.size());
+  G80211_DCHECK(i < ongoing_.size());
   const Ongoing o = ongoing_[i];
   // Stable erase keeps ongoing_ in ascending-tx_id order.
   ongoing_.erase(ongoing_.begin() + static_cast<std::ptrdiff_t>(i));

@@ -115,8 +115,17 @@ std::vector<CampaignPoint> Campaign::run(unsigned thread_override) {
         MetricRow row;
         row.figure = figure_;
         row.label = pt.label;
-        row.metric = m < metric_names_.size() ? metric_names_[m]
-                                              : "m" + std::to_string(m);
+        // The fallback name is formatted into a stack buffer: building it
+        // with string operator+/append on a std::to_string temporary trips
+        // GCC 12's bogus -Wrestrict at -O3 (GCC PR 105651), and CI builds
+        // with -Werror.
+        if (m < metric_names_.size()) {
+          row.metric = metric_names_[m];
+        } else {
+          char fallback[24];
+          std::snprintf(fallback, sizeof(fallback), "m%zu", m);
+          row.metric = fallback;
+        }
         row.median = pt.median[m];
         row.p25 = pt.p25[m];
         row.p75 = pt.p75[m];

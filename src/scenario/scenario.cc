@@ -1,6 +1,6 @@
 #include "src/scenario/scenario.h"
 
-#include <cassert>
+#include "src/sim/check.h"
 
 namespace g80211 {
 namespace {
@@ -135,7 +135,7 @@ FakeAckPolicy& Sim::make_fake_acker(Node& receiver, double gp) {
 }
 
 void Sim::run() {
-  assert(!ran_ && "Sim::run() may only be called once; use run_more()");
+  G80211_CHECK(!ran_ && "Sim::run() may only be called once; use run_more()");
   ran_ = true;
   sched_.at(cfg_.warmup, [this] {
     for (auto& s : udp_sinks_) s->reset();
@@ -146,7 +146,7 @@ void Sim::run() {
 }
 
 void Sim::run_more(Time extra) {
-  assert(ran_);
+  G80211_CHECK(ran_);
   sched_.run_until(sched_.now() + extra);
 }
 

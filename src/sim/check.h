@@ -1,0 +1,70 @@
+// Checked-invariant macros — the project's replacement for bare assert().
+//
+// assert() compiles out under NDEBUG, which is exactly the build
+// (RelWithDebInfo/Release) every benchmark, campaign, and golden guard
+// runs in. An invariant that silently stops being checked in the builds
+// that matter is worse than none: a corrupted event slot or a NAV bound
+// violation then surfaces as a wrong *result* — a mutated golden hash,
+// a bogus detector verdict — instead of a diagnosable failure. These
+// macros throw instead of compiling out, so a violated invariant aborts
+// the run loudly and carries file/line/expression in the exception.
+//
+// Two tiers:
+//
+//   G80211_CHECK(cond)   — always on, in every build type. Use for cold
+//                          or configuration-time invariants (parameter
+//                          validation, API misuse) where the predicate
+//                          cost is irrelevant.
+//   G80211_DCHECK(cond)  — on when G80211_CHECKED is defined or NDEBUG
+//                          is not (i.e. Debug builds and the
+//                          -DG80211_CHECKED=ON CMake preset). Compiles
+//                          to nothing otherwise. Use on hot paths
+//                          (per-event slab bookkeeping, heap sifts,
+//                          per-frame NAV updates) where an always-on
+//                          branch would tax the engine.
+//
+// Both evaluate the condition exactly once when enabled; a disabled
+// DCHECK does not evaluate its argument at all (the operand sits inside
+// sizeof, which also keeps variables referenced only by checks "used"
+// under -Werror=unused-variable).
+//
+// Failures throw g80211::CheckFailure (a std::logic_error), so tests can
+// EXPECT_THROW on them and the campaign runner's exception propagation
+// reports them like any other job failure.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace g80211 {
+
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  throw CheckFailure(std::string(file) + ":" + std::to_string(line) +
+                     ": G80211_CHECK failed: " + expr);
+}
+
+}  // namespace detail
+}  // namespace g80211
+
+#define G80211_CHECK(cond)                                        \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::g80211::detail::check_failed(#cond, __FILE__, __LINE__);  \
+    }                                                             \
+  } while (false)
+
+#if defined(G80211_CHECKED) || !defined(NDEBUG)
+#define G80211_DCHECK(cond) G80211_CHECK(cond)
+#else
+// Unevaluated operand: no runtime cost, but the condition still names its
+// variables (keeps them "used") and still has to parse and type-check.
+#define G80211_DCHECK(cond) ((void)sizeof((cond) ? 1 : 0))
+#endif

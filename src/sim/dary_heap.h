@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/check.h"
+
 namespace g80211 {
 
 // Before(a, b) returns true when `a` must pop before `b`; it must be a
@@ -30,7 +32,10 @@ class DaryHeap {
  public:
   bool empty() const { return v_.empty(); }
   std::size_t size() const { return v_.size(); }
-  const T& top() const { return v_.front(); }
+  const T& top() const {
+    G80211_DCHECK(!v_.empty() && "top() of an empty heap");
+    return v_.front();
+  }
 
   void push(const T& x) {
     v_.push_back(x);
@@ -38,6 +43,7 @@ class DaryHeap {
   }
 
   void pop() {
+    G80211_DCHECK(!v_.empty() && "pop() of an empty heap");
     if (v_.size() > 1) {
       T tail = std::move(v_.back());
       v_.pop_back();

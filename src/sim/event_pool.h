@@ -21,13 +21,13 @@
 // are rejected by a single array compare — no shared_ptr, no ABA.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "src/sim/check.h"
 #include "src/sim/inplace_function.h"
 
 namespace g80211 {
@@ -87,7 +87,7 @@ class EventPool {
   // slot's address valid across that scheduling.
   void fire(std::uint32_t idx) {
     Slot& s = slot(idx);
-    assert((s.generation & 1) != 0 && "fire() of a free slot");
+    G80211_DCHECK((s.generation & 1) != 0 && "fire() of a free slot");
     ++s.generation;  // odd -> even: live handles stop matching
     s.fn();
     s.fn.reset();
@@ -97,7 +97,7 @@ class EventPool {
   // Cancel path: drop the callback and free the slot.
   void release(std::uint32_t idx) {
     Slot& s = slot(idx);
-    assert((s.generation & 1) != 0 && "double free of event slot");
+    G80211_DCHECK((s.generation & 1) != 0 && "double free of event slot");
     s.fn.reset();
     ++s.generation;  // odd -> even: free
     free_.push_back(idx);

@@ -1,7 +1,8 @@
 #include "src/sim/rng.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "src/sim/check.h"
 
 namespace g80211 {
 namespace {
@@ -24,7 +25,7 @@ Rng::Rng(std::uint64_t seed) {
 Rng Rng::fork() { return Rng(next_u64()); }
 
 std::int64_t Rng::uniform_int(std::int64_t n) {
-  assert(n >= 0);
+  G80211_DCHECK(n >= 0);
   const auto un = static_cast<std::uint64_t>(n) + 1;
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t limit = UINT64_MAX - UINT64_MAX % un;
@@ -36,7 +37,7 @@ std::int64_t Rng::uniform_int(std::int64_t n) {
 }
 
 std::int64_t Rng::uniform_between(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  G80211_DCHECK(lo <= hi);
   return lo + uniform_int(hi - lo);
 }
 

@@ -1,7 +1,8 @@
 #include "src/sim/scheduler.h"
 
-#include <cassert>
 #include <utility>
+
+#include "src/sim/check.h"
 
 namespace g80211 {
 
@@ -15,7 +16,7 @@ void Scheduler::discard_cancelled_tops() {
 void Scheduler::fire_top() {
   const Entry e = queue_.top();
   queue_.pop();
-  assert(e.when >= now_);
+  G80211_DCHECK(e.when >= now_);
   now_ = e.when;
   --live_;
   ++executed_;

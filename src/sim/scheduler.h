@@ -12,13 +12,13 @@
 // docs/architecture.md, "Event engine".
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "src/sim/check.h"
 #include "src/sim/dary_heap.h"
 #include "src/sim/event_pool.h"
 #include "src/sim/time.h"
@@ -55,7 +55,7 @@ class Scheduler {
   // through an EventFn temporary (two 80-byte relocations per event).
   template <typename F>
   EventId at(Time when, F&& fn) {
-    assert(when >= now_ && "cannot schedule into the past");
+    G80211_DCHECK(when >= now_ && "cannot schedule into the past");
     const std::uint32_t index = pool_.alloc(std::forward<F>(fn));
     const std::uint64_t gen = pool_.generation(index);
     queue_.push(Entry{when, next_seq_++, gen, index});

@@ -1,64 +1,74 @@
-// Frame-level tracing — the simulator's equivalent of ns-2's trace files /
-// tcpdump. A FrameTracer attaches to any station's MAC (promiscuous, so
-// one well-placed observer sees a whole hotspot) and records every frame
-// with timing, addressing, Duration, and corruption state. Useful for
-// debugging protocol behaviour and for the examples' annotated output.
+// Layer-neutral tracing core: an observer interface plus a bounded
+// in-memory log, both generic over the record type.
+//
+// sim/ owns the *mechanism* (who stores records, capacity trimming, live
+// callbacks, dump/count helpers) but knows nothing about what a record
+// is. Producers live in higher layers and depend downward: src/mac/
+// defines TraceRecord (frame timing, addressing, Duration, corruption
+// state) and FrameTracer, which chains onto a MAC sniffer and feeds a
+// TraceSink. That direction matters — it is enforced by the g80211_lint
+// layering check (tools/lint/deps.toml): sim/ may include only sim/, so
+// a trace consumer living here must not name MAC types.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <ostream>
-#include <string>
-
-#include "src/mac/mac.h"
-#include "src/sim/scheduler.h"
 
 namespace g80211 {
 
-struct TraceRecord {
-  Time start = 0;
-  Time end = 0;
-  FrameType type = FrameType::kData;
-  int ta = kNoAddr;
-  int ra = kNoAddr;
-  Time duration = 0;        // NAV field
-  bool corrupted = false;
-  bool collided = false;
-  int seq = 0;
-  int frag = 0;
-  bool more_frags = false;
-  bool retry = false;       // MAC Retry bit
-  int bytes = 0;            // on-air MAC length incl. FCS
-  double rssi_dbm = 0.0;
+// Anything that consumes a stream of trace records. Higher layers hand
+// records down through this interface; sim/ (and tests) provide sinks.
+template <typename Record>
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
 
-  std::string to_string() const;
+  // Called once per captured record, in capture order.
+  virtual void record(const Record& r) = 0;
 };
 
-class FrameTracer {
+// A TraceSink that keeps the most recent records in memory — the
+// simulator's equivalent of ns-2's trace files / tcpdump, minus any
+// knowledge of what is being traced.
+template <typename Record>
+class TraceLog : public TraceSink<Record> {
  public:
   // Keep at most `capacity` most-recent records (0 = unbounded).
-  explicit FrameTracer(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit TraceLog(std::size_t capacity = 0) : capacity_(capacity) {}
 
-  // Chain onto a MAC's sniffer.
-  void attach(Mac& mac);
+  void record(const Record& r) override {
+    if (on_record) on_record(r);
+    records_.push_back(r);
+    if (capacity_ > 0 && records_.size() > capacity_) records_.pop_front();
+  }
 
-  const std::deque<TraceRecord>& records() const { return records_; }
+  const std::deque<Record>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
   void clear() { records_.clear(); }
 
   // Optional live sink: called for every record as it is captured.
-  std::function<void(const TraceRecord&)> on_record;
+  std::function<void(const Record&)> on_record;
 
-  // Dump all records, one per line.
-  void dump(std::ostream& os) const;
+  // Dump all records, one per line (requires Record::to_string).
+  void dump(std::ostream& os) const {
+    for (const auto& r : records_) os << r.to_string() << "\n";
+  }
 
   // Count records matching a predicate.
-  std::int64_t count(const std::function<bool(const TraceRecord&)>& pred) const;
+  std::int64_t count(const std::function<bool(const Record&)>& pred) const {
+    std::int64_t n = 0;
+    for (const auto& r : records_) {
+      if (pred(r)) ++n;
+    }
+    return n;
+  }
 
  private:
   std::size_t capacity_;
-  std::deque<TraceRecord> records_;
+  std::deque<Record> records_;
 };
 
 }  // namespace g80211

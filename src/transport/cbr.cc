@@ -1,6 +1,7 @@
 #include "src/transport/cbr.h"
 
-#include <cassert>
+#include "src/sim/check.h"
+
 
 namespace g80211 {
 
@@ -13,7 +14,7 @@ CbrSource::CbrSource(Scheduler& sched, Config cfg, int flow_id, int src_node,
       dst_node_(dst_node),
       rng_(rng),
       timer_(sched, [this] { emit(); }) {
-  assert(cfg_.rate_mbps > 0.0);
+  G80211_CHECK(cfg_.rate_mbps > 0.0);
   interval_ = tx_time(8 * static_cast<std::int64_t>(cfg_.payload_bytes),
                       cfg_.rate_mbps);
 }

@@ -5,9 +5,9 @@
 #include <sstream>
 
 #include "src/analysis/stats.h"
+#include "src/mac/frame_tracer.h"
 #include "src/net/node.h"
 #include "src/phy/channel.h"
-#include "src/sim/trace.h"
 
 namespace g80211 {
 namespace {

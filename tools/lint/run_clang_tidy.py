@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project's own translation units, in parallel.
+
+A thin, dependency-free stand-in for LLVM's run-clang-tidy: reads the
+compilation database, keeps only first-party TUs (src/, bench/, tools/,
+examples/ — no _deps or generated files), fans clang-tidy out over a
+process pool, and exits non-zero if any file produced a diagnostic. The
+check profile lives in .clang-tidy at the repo root; warnings are
+promoted to errors here so CI cannot rot.
+
+Usage: run_clang_tidy.py [--clang-tidy BIN] [-p BUILD_DIR] [paths...]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+FIRST_PARTY = ("src/", "bench/", "tools/", "examples/")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument("-p", "--build-dir", default="build",
+                    help="directory holding compile_commands.json")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    ap.add_argument("paths", nargs="*",
+                    help="restrict to TUs whose path contains any of these")
+    args = ap.parse_args()
+
+    db_path = Path(args.build_dir) / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"run_clang_tidy: {db_path} not found — configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first", file=sys.stderr)
+        return 2
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+
+    root = Path.cwd().resolve()
+    files = []
+    for entry in db:
+        f = Path(entry["file"])
+        try:
+            rel = str(f.resolve().relative_to(root))
+        except ValueError:
+            continue
+        if not rel.startswith(FIRST_PARTY):
+            continue
+        if args.paths and not any(p in rel for p in args.paths):
+            continue
+        files.append(rel)
+    files = sorted(set(files))
+    if not files:
+        print("run_clang_tidy: no first-party TUs in the database",
+              file=sys.stderr)
+        return 2
+
+    def tidy_one(rel):
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet",
+             "--warnings-as-errors=*", rel],
+            capture_output=True, text=True)
+        return rel, proc.returncode, proc.stdout.strip()
+
+    failed = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for rel, rc, out in pool.map(tidy_one, files):
+            if rc != 0:
+                failed += 1
+                print(f"== {rel}")
+                if out:
+                    print(out)
+    print(f"run_clang_tidy: {len(files)} TU(s), {failed} with diagnostics",
+          file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

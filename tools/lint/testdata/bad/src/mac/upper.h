@@ -1,0 +1,8 @@
+// Support header for the layering fixture (itself clean).
+#pragma once
+
+namespace g80211_fixture {
+
+inline int mac_state() { return 42; }
+
+}  // namespace g80211_fixture

@@ -1,0 +1,11 @@
+// Seeded violation: an invariant that vanishes under NDEBUG.
+#include <cassert>
+
+namespace g80211_fixture {
+
+int checked_halve(int n) {
+  assert(n % 2 == 0);
+  return n / 2;
+}
+
+}  // namespace g80211_fixture

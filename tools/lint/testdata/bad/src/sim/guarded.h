@@ -1,0 +1,11 @@
+// Seeded violation: #ifndef include guard instead of #pragma once.
+#ifndef G80211_FIXTURE_GUARDED_H_
+#define G80211_FIXTURE_GUARDED_H_
+
+namespace g80211_fixture {
+
+inline int guarded() { return 7; }
+
+}  // namespace g80211_fixture
+
+#endif  // G80211_FIXTURE_GUARDED_H_

@@ -1,0 +1,12 @@
+// Seeded violations: a system include trailing the project block, and an
+// unsorted system run.
+#include "src/sim/guarded.h"
+
+#include <vector>
+#include <cstdint>
+
+namespace g80211_fixture {
+
+std::uint64_t count() { return std::vector<int>{1, 2, 3}.size(); }
+
+}  // namespace g80211_fixture

@@ -1,0 +1,11 @@
+// Seeded violation: sim/ reaching up into mac/ — the exact inversion
+// src/sim/trace.h used to have.
+#pragma once
+
+#include "src/mac/upper.h"
+
+namespace g80211_fixture {
+
+inline int peek() { return mac_state(); }
+
+}  // namespace g80211_fixture

@@ -1,0 +1,10 @@
+// Seeded violation: names std::string but never includes <string>.
+#pragma once
+
+namespace g80211_fixture {
+
+struct Label {
+  std::string text;
+};
+
+}  // namespace g80211_fixture

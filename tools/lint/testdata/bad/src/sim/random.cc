@@ -1,0 +1,19 @@
+// Seeded violations: every banned randomness source in one file.
+#include <cstdlib>
+#include <random>
+
+namespace g80211_fixture {
+
+int hardware_entropy() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+int libc_rand() { return rand(); }
+
+int unseeded_engine() {
+  std::mt19937 gen;
+  return static_cast<int>(gen());
+}
+
+}  // namespace g80211_fixture

@@ -1,0 +1,8 @@
+// Seeded violation: project include not rooted at "src/".
+#include "layering_violation.h"
+
+namespace g80211_fixture {
+
+int use() { return 1; }
+
+}  // namespace g80211_fixture

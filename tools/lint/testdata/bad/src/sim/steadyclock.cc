@@ -1,0 +1,10 @@
+// Seeded violation: steady_clock outside the runner/ allowlist.
+#include <chrono>
+
+namespace g80211_fixture {
+
+long long ticks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace g80211_fixture

@@ -1,0 +1,15 @@
+// Seeded violation: iterating a hash container in bucket order.
+#include <unordered_map>
+
+namespace g80211_fixture {
+
+int sum_in_bucket_order() {
+  std::unordered_map<int, int> nav_by_node{{1, 2}, {3, 4}};
+  int sum = 0;
+  for (const auto& entry : nav_by_node) {
+    sum += entry.second;
+  }
+  return sum;
+}
+
+}  // namespace g80211_fixture

@@ -1,0 +1,16 @@
+// Seeded violation: wall-clock time inside the simulation core.
+#include <chrono>
+#include <ctime>
+
+namespace g80211_fixture {
+
+long long stamp() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+long libc_stamp() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace g80211_fixture

@@ -1,0 +1,10 @@
+// Clean fixture: the allowed downward edge (mac/ -> sim/).
+#pragma once
+
+#include "src/sim/ok.h"
+
+namespace g80211_fixture {
+
+inline Event tagged(std::uint64_t when) { return Event{when, "mac"}; }
+
+}  // namespace g80211_fixture

@@ -1,0 +1,18 @@
+// Clean fixture: own header first, then system, then project includes,
+// each run sorted; ordered-map iteration; no banned symbols.
+#include "src/sim/ok.h"
+
+#include <map>
+#include <vector>
+
+namespace g80211_fixture {
+
+std::uint64_t total(const std::map<int, Event>& events) {
+  std::uint64_t sum = 0;
+  for (const auto& [id, ev] : events) {
+    sum += ev.when + static_cast<std::uint64_t>(id);
+  }
+  return sum;
+}
+
+}  // namespace g80211_fixture

@@ -1,0 +1,16 @@
+// Clean fixture: #pragma once, self-contained, includes only <> headers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace g80211_fixture {
+
+struct Event {
+  std::uint64_t when = 0;
+  std::string label;
+};
+
+inline std::uint64_t bump(std::uint64_t t) { return t + 1; }
+
+}  // namespace g80211_fixture

@@ -1,0 +1,14 @@
+// Clean fixture: a would-be violation silenced by a rule-scoped NOLINT
+// with a reason — the sanctioned escape hatch.
+#include <chrono>
+
+namespace g80211_fixture {
+
+long coarse_uptime_ms() {
+  using clock = std::chrono::steady_clock;  // NOLINT(nondet-steadyclock): fixture demonstrating the allowlist form; never feeds sim state
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace g80211_fixture
