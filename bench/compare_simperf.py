@@ -1,15 +1,16 @@
 #!/usr/bin/env python3
 """Perf-regression gate for the simulation engine.
 
-Diffs a fresh bench_ext_simperf run against the committed baseline
+Diffs a fresh run of the perf benches against the committed baseline
 (BENCH_simperf.json at the repo root) and fails on slowdowns beyond the
 threshold (default 15%).
 
 Usage:
-    # run the bench binary itself and compare
-    python3 bench/compare_simperf.py build/bench/bench_ext_simperf
+    # run one or more bench binaries and compare the merged result
+    python3 bench/compare_simperf.py build/bench/bench_ext_simperf \\
+        build/bench/bench_ext_monitor
 
-    # or compare a pre-recorded --benchmark_format=json output
+    # or compare pre-recorded --benchmark_format=json outputs
     python3 bench/compare_simperf.py fresh.json
 
     options: --baseline PATH (default: BENCH_simperf.json next to the
@@ -66,6 +67,28 @@ def fresh_run(path):
     return json.loads(proc.stdout)
 
 
+def fresh_runs(paths):
+    """Merge several bench documents: first context wins (same machine,
+    same build — check_context still compares it against the baseline),
+    benchmark lists concatenate. Duplicate benchmark names across targets
+    are a caller error and are rejected."""
+    merged = {}
+    seen = set()
+    for path in paths:
+        doc = fresh_run(path)
+        if not merged:
+            merged = doc
+            seen = {b["name"] for b in doc.get("benchmarks", [])}
+            continue
+        for b in doc.get("benchmarks", []):
+            if b["name"] in seen:
+                raise RuntimeError(
+                    f"duplicate benchmark {b['name']!r} from {path}")
+            seen.add(b["name"])
+            merged.setdefault("benchmarks", []).append(b)
+    return merged
+
+
 def check_context(baseline_doc, fresh_doc):
     """Warn loudly when the two runs' environments are not comparable."""
     base_ctx = baseline_doc.get("context", {})
@@ -91,7 +114,9 @@ def check_context(baseline_doc, fresh_doc):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("target", help="bench_ext_simperf binary or its JSON output")
+    ap.add_argument("target", nargs="+",
+                    help="bench binaries (or their JSON outputs); results "
+                         "are merged into one comparison")
     ap.add_argument("--baseline", default=DEFAULT_BASELINE)
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="max tolerated slowdown fraction (default 0.15)")
@@ -118,8 +143,8 @@ def main():
         return 3
 
     try:
-        fresh_doc = fresh_run(args.target)
-    except (OSError, RuntimeError, json.JSONDecodeError) as e:
+        fresh_doc = fresh_runs(args.target)
+    except (OSError, RuntimeError, json.JSONDecodeError, KeyError) as e:
         print(f"compare_simperf: {e}", file=sys.stderr)
         return 2
 

@@ -131,7 +131,12 @@ struct Capture {
   Time end_time = 0;         // capture horizon (jsonl footer; last frame end
                              // for pcap)
   std::vector<CapturedFrame> frames;
-  std::int64_t skipped_unknown = 0;  // unrecognised pcap records skipped
+  // Skip-and-count statistics for unrecognised pcap records (unknown
+  // radiotap layout or 802.11 type/subtype — e.g. beacons from a real
+  // capture). The first offending record's byte offset in the file lets a
+  // user jump straight to it in a hex dump / Wireshark.
+  std::int64_t skipped_unknown = 0;
+  std::int64_t first_skipped_offset = -1;  // -1: nothing was skipped
 };
 
 }  // namespace g80211

@@ -1,0 +1,91 @@
+// Incremental capture reader: the tail(1) counterpart of capture_reader.
+//
+// Opens a pcap or JSONL capture file and parses it record-by-record as the
+// bytes arrive, tolerating a file that is still being written (a live
+// CaptureWriter journal). Each poll() reads whatever has been appended
+// since the last call and emits every *complete* record; a record split by
+// the current end of file stays buffered until a later poll completes it.
+// Records are therefore delivered exactly once, in journal order, with the
+// same parsing code — and the same validation and error messages — as the
+// one-shot readers (src/capture/format_detail.h is shared by both).
+//
+// Format is sniffed from the first bytes (pcap magic vs. '{'). For JSONL
+// the stream knows when it is complete (the footer line); pcap has no
+// footer, so finished() stays false and the caller decides when to stop
+// polling. pending_bytes() exposes whether the buffer holds a partial
+// record — nonzero after the producer has finished means a truncated file.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/capture/capture.h"
+
+namespace g80211 {
+
+class CaptureStreamReader {
+ public:
+  // Opens the file; throws std::runtime_error when it cannot be opened.
+  // The file may be empty or partially written at this point.
+  explicit CaptureStreamReader(const std::string& path);
+  ~CaptureStreamReader();
+  CaptureStreamReader(const CaptureStreamReader&) = delete;
+  CaptureStreamReader& operator=(const CaptureStreamReader&) = delete;
+
+  // Read newly appended bytes and append every newly completed record to
+  // `out`. Returns the number of records appended. Throws on bytes that
+  // can never become a valid capture (same conditions as read_capture).
+  std::size_t poll(std::vector<CapturedFrame>& out);
+
+  // File-level metadata, valid once header_ready().
+  bool header_ready() const { return header_ready_; }
+  bool has_params() const { return has_params_; }       // JSONL only
+  const WifiParams& params() const { return params_; }
+  int owner() const { return owner_; }                  // kNoAddr for pcap
+
+  // JSONL footer seen: the capture is complete and end_time() is the
+  // recorded horizon. pcap never finishes from the reader's viewpoint;
+  // end_time() then tracks the latest frame end seen.
+  bool finished() const { return finished_; }
+  Time end_time() const { return end_time_; }
+
+  // Skip-and-count statistics for unrecognised pcap records; the offset is
+  // the first skipped record's absolute byte position in the file.
+  std::int64_t skipped_unknown() const { return skipped_unknown_; }
+  std::int64_t first_skipped_offset() const { return first_skipped_offset_; }
+
+  // Buffered bytes not yet parsed into a record. Nonzero once the producer
+  // has stopped writing means the file ends mid-record (truncated).
+  std::size_t pending_bytes() const { return buf_.size(); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  enum class Format { kUndetected, kPcap, kJsonl };
+
+  std::size_t read_appended();
+  std::size_t drain_pcap(std::vector<CapturedFrame>& out);
+  std::size_t drain_jsonl(std::vector<CapturedFrame>& out);
+  void compact(std::size_t consumed);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+
+  std::vector<std::uint8_t> buf_;   // unparsed bytes
+  std::int64_t buf_offset_ = 0;     // absolute file offset of buf_[0]
+
+  Format format_ = Format::kUndetected;
+  bool header_ready_ = false;
+  bool has_params_ = false;
+  WifiParams params_;
+  int owner_ = kNoAddr;
+  bool finished_ = false;
+  Time end_time_ = 0;
+  Time last_event_ = 0;  // journal-order enforcement, as the one-shot reader
+  std::int64_t skipped_unknown_ = 0;
+  std::int64_t first_skipped_offset_ = -1;
+};
+
+}  // namespace g80211

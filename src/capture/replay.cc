@@ -1,53 +1,10 @@
 #include "src/capture/replay.h"
 
-#include <cmath>
 #include <stdexcept>
 
-#include "src/detect/nav_validator.h"
-#include "src/detect/spoof_detector.h"
-#include "src/sim/scheduler.h"
+#include "src/capture/replay_engine.h"
 
 namespace g80211 {
-
-namespace {
-
-// Rebuild the Frame/RxInfo pair the live hooks were handed. `frag_bytes`
-// carries the payload share so Frame::air_bytes() reports the journalled
-// on-air length (NavValidator sizes fragment bounds from it).
-Frame to_frame(const CapturedFrame& r, const WifiParams& p) {
-  Frame f;
-  f.type = r.type;
-  f.duration = r.duration;
-  f.ra = r.ra;
-  f.ta = r.ta;
-  f.true_tx = r.true_tx;
-  f.retry = r.retry;
-  f.seq = r.seq;
-  f.frag_index = r.frag;
-  f.more_frags = r.more_frags;
-  if (r.type == FrameType::kData && r.bytes > p.data_mac_overhead_bytes) {
-    f.frag_bytes = r.bytes - p.data_mac_overhead_bytes;
-  }
-  return f;
-}
-
-RxInfo to_info(const CapturedFrame& r) {
-  RxInfo i;
-  i.rssi_dbm = r.rssi_dbm;
-  i.corrupted = r.corrupted;
-  i.collided = r.collided;
-  i.start = r.start;
-  i.end = r.end;
-  return i;
-}
-
-// Fake-ACK probe bookkeeping, reconstructed per probed destination.
-struct ProbeLedger {
-  std::map<std::int64_t, Time> created;    // probe seq -> emission time
-  std::map<std::int64_t, Time> reply_end;  // probe seq -> earliest reply rx end
-};
-
-}  // namespace
 
 ReplayResult replay_capture(const Capture& cap, const ReplayOptions& opts) {
   if (!cap.has_params) {
@@ -55,142 +12,9 @@ ReplayResult replay_capture(const Capture& cap, const ReplayOptions& opts) {
         "replay: capture lacks simulation parameters (replay needs the JSONL "
         "journal; pcap drops exact ticks and ground truth)");
   }
-  const WifiParams& params = cap.params;
-  const int owner = cap.owner;
-
-  // A private clock the detectors read through Scheduler::now(): advanced
-  // (never rewound) to each record's live callback time.
-  Scheduler sched;
-  NavValidator nav(sched, params);
-  nav.tolerance = opts.nav_tolerance;
-  nav.assume_fragmentation = opts.assume_fragmentation;
-  SpoofDetector spoof(opts.spoof_threshold_db);
-
-  ReplayResult res;
-
-  // WaitAck window reconstructed from the vantage's own DATA transmissions.
-  Time wait_deadline = kNever;
-  bool waiting = false;
-  int wait_dest = kNoAddr;
-
-  // Per-destination DATA transmission counters (Mac::DestCounters analog).
-  std::map<int, std::int64_t> tx_attempts, tx_retries;
-  std::map<int, ProbeLedger> probes;
-
-  for (const CapturedFrame& r : cap.frames) {
-    if (r.event_time() > sched.now()) sched.run_until(r.event_time());
-
-    if (r.tx) {
-      if (r.type != FrameType::kData) continue;
-      ++tx_attempts[r.ra];
-      if (r.retry) ++tx_retries[r.ra];
-      if (r.ra != kBroadcast) {
-        // The live MAC enters WaitAck when the DATA transmission ends and
-        // arms ack_timeout() from there.
-        waiting = true;
-        wait_dest = r.ra;
-        wait_deadline = r.end + params.ack_timeout();
-      }
-      if (opts.fake_ack && r.probe && !r.probe_reply) {
-        // Retransmissions share the packet's creation time; record once.
-        probes[r.dst_node].created.emplace(r.pkt_seq, r.pkt_created);
-      }
-      continue;
-    }
-
-    // --- reception: replay the live hook sequence ---------------------------
-
-    const Frame frame = to_frame(r, params);
-    const RxInfo info = to_info(r);
-
-    // 1. Sniffer chain: NAV exchange context + RSSI profile learning. Both
-    //    see every reception; each applies its own corruption filter.
-    if (opts.nav) nav.observe(frame, info);
-    if (opts.spoof && !r.corrupted && r.ta != kNoAddr &&
-        (r.type == FrameType::kRts || r.type == FrameType::kData)) {
-      spoof.monitor().add_sample(r.ta, r.rssi_dbm);
-    }
-
-    if (r.corrupted) continue;  // the live MAC stops at EIFS deference here
-
-    // 2. nav_filter: frames not addressed to the vantage update its NAV.
-    if (opts.nav && r.ra != owner) nav.validate(frame, info);
-
-    // 3. ack_filter: ACKs addressed to the vantage inside the WaitAck
-    //    window. Strict bound: an ACK landing exactly at the deadline lost
-    //    the live tie-break to the timeout event.
-    if (r.type == FrameType::kAck && r.ra == owner && waiting &&
-        r.end < wait_deadline) {
-      ++res.acks_checked;
-      const bool ignore = opts.spoof && spoof.should_ignore(wait_dest, r.rssi_dbm);
-      const bool actually_spoofed = r.true_tx != wait_dest;  // ground truth
-      if (ignore) {
-        ++(actually_spoofed ? res.spoof_tp : res.spoof_fp);
-      } else {
-        ++(actually_spoofed ? res.spoof_fn : res.spoof_tn);
-      }
-      if (ignore && opts.spoof_recovery) {
-        ++res.acks_ignored;  // window stays open; the live MAC retransmitted
-      } else {
-        waiting = false;  // exchange completed
-      }
-    }
-
-    // 4. Upper-layer delivery: probe replies reaching the vantage. The
-    //    earliest uncorrupted copy is the one MAC dedup let through.
-    if (opts.fake_ack && r.type == FrameType::kData && r.ra == owner &&
-        r.probe && r.probe_reply) {
-      auto& ledger = probes[r.src_node];
-      const auto it = ledger.reply_end.find(r.pkt_seq);
-      if (it == ledger.reply_end.end() || r.end < it->second) {
-        ledger.reply_end[r.pkt_seq] = r.end;
-      }
-    }
-  }
-
-  res.nav_validated = nav.frames_validated();
-  res.nav_detections = nav.detections();
-  res.nav_detections_by_node = nav.detections_by_node();
-
-  if (opts.fake_ack) {
-    for (const auto& [dest, ledger] : probes) {
-      FakeAckVerdict v;
-      v.dest = dest;
-      v.probes_seen = static_cast<std::int64_t>(ledger.created.size());
-      for (const auto& [seq, created] : ledger.created) {
-        // Maturity fires when created + grace <= capture horizon (the
-        // maturity event runs before run_until() stops at the horizon);
-        // the reply must land strictly earlier (it was scheduled later,
-        // so it loses the equal-timestamp tie-break).
-        if (created + opts.fake_ack_grace > cap.end_time) continue;
-        ++v.matured;
-        const auto it = ledger.reply_end.find(seq);
-        if (it != ledger.reply_end.end() &&
-            it->second < created + opts.fake_ack_grace) {
-          ++v.matured_replied;
-        }
-      }
-      const auto at = tx_attempts.find(dest);
-      const std::int64_t attempts = at != tx_attempts.end() ? at->second : 0;
-      const auto rt = tx_retries.find(dest);
-      const std::int64_t retries = rt != tx_retries.end() ? rt->second : 0;
-      v.mac_loss = attempts == 0 ? 0.0
-                                 : static_cast<double>(retries) /
-                                       static_cast<double>(attempts);
-      v.application_loss =
-          v.matured == 0 ? 0.0
-                         : 1.0 - static_cast<double>(v.matured_replied) /
-                                     static_cast<double>(v.matured);
-      v.expected_app_loss =
-          std::pow(v.mac_loss, params.long_retry_limit + 1);
-      v.detected = v.matured >= 20 &&
-                   v.application_loss >
-                       v.expected_app_loss + opts.fake_ack_threshold;
-      res.fake_ack.push_back(v);
-    }
-  }
-
-  return res;
+  ReplayEngine engine(cap.params, cap.owner, opts);
+  for (const CapturedFrame& r : cap.frames) engine.step(r);
+  return engine.result(cap.end_time);
 }
 
 }  // namespace g80211

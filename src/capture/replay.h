@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "src/capture/capture.h"
+#include "src/detect/backoff_monitor.h"
 #include "src/sim/time.h"
 
 namespace g80211 {
@@ -66,6 +67,22 @@ struct ReplayOptions {
   bool fake_ack = true;
   double fake_ack_threshold = 0.05;
   Time fake_ack_grace = seconds(1);
+
+  // DOMINO-style backoff monitoring (the sender-side baseline). The medium
+  // busy/idle edges the live channel_observer fed are reconstructed as the
+  // union of the journalled frame spans; this is exact whenever colliding
+  // frames share start and length (capture-invisible losers), the regime
+  // the equivalence tests pin down.
+  bool backoff = true;
+  BackoffMonitor::Config backoff_cfg;
+
+  // Cross-layer TCP/MAC correlation (Section VII-B, last paragraph). A TCP
+  // retransmission shows up in the journal as a second DATA transmission
+  // with the same (flow, pkt_seq) but a fresh pkt_uid (MAC retries keep the
+  // uid); a MAC-acknowledged segment is one whose WaitAck window closed on
+  // an accepted ACK.
+  bool cross_layer = true;
+  std::int64_t cross_layer_threshold = 5;
 };
 
 // Offline analog of FakeAckDetector's verdict toward one destination.
@@ -78,6 +95,38 @@ struct FakeAckVerdict {
   double application_loss = 0.0;     // 1 - matured_replied/matured
   double expected_app_loss = 0.0;    // mac_loss^(long_retry_limit+1)
   bool detected = false;             // matured >= 20 and app > expected + thr
+
+  bool operator==(const FakeAckVerdict&) const = default;
+};
+
+// Offline analog of BackoffMonitor's per-station judgement.
+struct BackoffVerdict {
+  int station = kNoAddr;
+  double ewma_slots = -1.0;   // smoothed observed backoff, in slots
+  std::int64_t samples = 0;   // attributed transmissions
+  double tx_share = 0.0;      // fraction of all attributed transmissions
+  bool flagged = false;
+
+  bool operator==(const BackoffVerdict&) const = default;
+};
+
+// Offline analog of RssiMonitor's learned per-peer profile.
+struct RssiProfile {
+  int peer = kNoAddr;
+  std::int64_t samples = 0;
+  double median_dbm = 0.0;
+
+  bool operator==(const RssiProfile&) const = default;
+};
+
+// Offline analog of CrossLayerDetector's per-flow verdict.
+struct CrossLayerVerdict {
+  int flow_id = 0;
+  std::int64_t mac_acked = 0;   // distinct segments the MAC saw ACKed
+  std::int64_t suspicious = 0;  // TCP retransmissions of MAC-acked segments
+  bool detected = false;
+
+  bool operator==(const CrossLayerVerdict&) const = default;
 };
 
 struct ReplayResult {
@@ -92,7 +141,12 @@ struct ReplayResult {
   std::int64_t spoof_tp = 0, spoof_fp = 0, spoof_tn = 0, spoof_fn = 0;
   std::int64_t spoof_flagged() const { return spoof_tp + spoof_fp; }
 
-  std::vector<FakeAckVerdict> fake_ack;  // one per probed destination
+  std::vector<FakeAckVerdict> fake_ack;       // one per probed destination
+  std::vector<BackoffVerdict> backoff;        // one per attributed station
+  std::vector<RssiProfile> rssi;              // one per profiled peer
+  std::vector<CrossLayerVerdict> cross_layer; // one per observed DATA flow
+
+  bool operator==(const ReplayResult&) const = default;
 };
 
 // Replay `cap` through the offline detectors. Requires a JSONL-parsed

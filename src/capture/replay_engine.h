@@ -1,0 +1,111 @@
+// The incremental core behind replay_capture() and the streaming monitor.
+//
+// One engine holds the full offline detector suite for one vantage station
+// (NavValidator, SpoofDetector/RssiMonitor, BackoffMonitor, per-flow
+// CrossLayerDetector, fake-ACK probe ledger) bound to a private
+// ManualClock. step() consumes one journalled record exactly as
+// replay.h documents — the engine *is* the replay loop, factored out so
+// the monitor can feed it record-by-record from a growing file and
+// snapshot verdicts mid-stream. result() is a pure read: it may be called
+// repeatedly at successive horizons (every sliding window plus the final
+// one) and the stream may keep stepping afterwards.
+//
+// Detectors hold a Clock view onto the engine's ManualClock, so the engine
+// is pinned in memory: non-copyable, non-movable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "src/capture/capture.h"
+#include "src/capture/replay.h"
+#include "src/detect/backoff_monitor.h"
+#include "src/detect/cross_layer_detector.h"
+#include "src/detect/nav_validator.h"
+#include "src/detect/spoof_detector.h"
+#include "src/sim/clock.h"
+
+namespace g80211 {
+
+class ReplayEngine {
+ public:
+  ReplayEngine(const WifiParams& params, int owner, ReplayOptions opts = {});
+  ReplayEngine(const ReplayEngine&) = delete;
+  ReplayEngine& operator=(const ReplayEngine&) = delete;
+
+  // Consume one record. Records must arrive in journal (event-time) order;
+  // the capture readers enforce that order per file.
+  void step(const CapturedFrame& r);
+
+  // Verdicts as of `end_time` (the capture horizon, or a window edge for
+  // the streaming monitor). Repeatable and non-destructive.
+  ReplayResult result(Time end_time) const;
+
+  // Event time of the last record consumed (0 before the first).
+  Time now() const { return clock_src_.now(); }
+  int owner() const { return owner_; }
+  const ReplayOptions& options() const { return opts_; }
+
+  // Read-only access to the underlying detectors, for equality tests and
+  // reporting that wants more than the ReplayResult snapshot.
+  const NavValidator& nav() const { return nav_; }
+  const SpoofDetector& spoof() const { return spoof_; }
+  const BackoffMonitor& backoff() const { return backoff_; }
+
+ private:
+  // Fake-ACK probe bookkeeping, reconstructed per probed destination.
+  struct ProbeLedger {
+    std::map<std::int64_t, Time> created;    // probe seq -> emission time
+    std::map<std::int64_t, Time> reply_end;  // probe seq -> earliest reply end
+  };
+
+  // Cross-layer correlation state for one DATA flow.
+  struct FlowXLayer {
+    explicit FlowXLayer(std::int64_t threshold) : det(threshold) {}
+    CrossLayerDetector det;
+    // First pkt_uid seen per pkt_seq: a later, different uid for the same
+    // seq is a TCP retransmission (MAC retries reuse the uid).
+    std::map<std::int64_t, std::uint64_t> first_uid;
+    std::set<std::uint64_t> counted_uids;  // retransmitted uids, counted once
+  };
+
+  FlowXLayer& xlayer(int flow_id);
+
+  const WifiParams params_;
+  const int owner_;
+  const ReplayOptions opts_;
+
+  // Detectors read time through Clock views of this; declared first so the
+  // views bind to a constructed object.
+  ManualClock clock_src_;
+  NavValidator nav_;
+  SpoofDetector spoof_;
+  BackoffMonitor backoff_;
+
+  // WaitAck window reconstructed from the vantage's own DATA transmissions,
+  // plus the payload identity of the frame that opened it (cross-layer
+  // attribution when an accepted ACK closes it).
+  Time wait_deadline_ = kNever;
+  bool waiting_ = false;
+  int wait_dest_ = kNoAddr;
+  int wait_flow_ = 0;
+  std::int64_t wait_seq_ = 0;
+  bool wait_probe_ = false;
+
+  // Busy-union medium reconstruction for backoff idle edges.
+  bool have_busy_ = false;
+  Time busy_until_ = 0;
+
+  // Per-destination DATA transmission counters (Mac::DestCounters analog).
+  std::map<int, std::int64_t> tx_attempts_, tx_retries_;
+  std::map<int, ProbeLedger> probes_;
+  std::map<int, FlowXLayer> xlayer_;
+
+  // Spoofed-ACK classification counters.
+  std::int64_t acks_checked_ = 0;
+  std::int64_t acks_ignored_ = 0;
+  std::int64_t spoof_tp_ = 0, spoof_fp_ = 0, spoof_tn_ = 0, spoof_fn_ = 0;
+};
+
+}  // namespace g80211

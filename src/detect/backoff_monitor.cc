@@ -20,12 +20,12 @@ void BackoffMonitor::attach(Mac& mac) {
 
 void BackoffMonitor::on_edge(bool busy) {
   if (!busy) {
-    idle_since_ = sched_->now();
+    idle_since_ = clock_.now();
   }
 }
 
 void BackoffMonitor::on_frame(const Frame& frame, const RxInfo& info) {
-  if (info.corrupted || frame.ta == kNoAddr) return;
+  if (info.corrupted || frame.ta < 0) return;
   if (frame.type != FrameType::kRts && frame.type != FrameType::kData) return;
   if (idle_since_ == kNever || info.start < idle_since_) return;
 
@@ -36,49 +36,67 @@ void BackoffMonitor::on_frame(const Frame& frame, const RxInfo& info) {
   const double slots = static_cast<double>(gap) / static_cast<double>(params_.slot);
   if (slots > static_cast<double>(params_.cw_max)) return;
 
-  auto& p = profiles_[frame.ta];
+  if (static_cast<std::size_t>(frame.ta) >= profiles_.size()) {
+    profiles_.resize(static_cast<std::size_t>(frame.ta) + 1);
+  }
+  auto& p = profiles_[static_cast<std::size_t>(frame.ta)];
   if (p.ewma_slots < 0) {
     p.ewma_slots = slots;
   } else {
     p.ewma_slots += cfg_.ewma_alpha * (slots - p.ewma_slots);
   }
+  if (p.n == 0) ++num_stations_;
   ++p.n;
+  ++total_samples_;
+}
+
+const BackoffMonitor::Profile* BackoffMonitor::profile(int station) const {
+  if (station < 0 || static_cast<std::size_t>(station) >= profiles_.size()) {
+    return nullptr;
+  }
+  const Profile& p = profiles_[static_cast<std::size_t>(station)];
+  return p.n > 0 ? &p : nullptr;
 }
 
 double BackoffMonitor::observed_backoff(int station) const {
-  const auto it = profiles_.find(station);
-  return it == profiles_.end() ? -1.0 : it->second.ewma_slots;
+  const Profile* p = profile(station);
+  return p == nullptr ? -1.0 : p->ewma_slots;
 }
 
 std::int64_t BackoffMonitor::samples(int station) const {
-  const auto it = profiles_.find(station);
-  return it == profiles_.end() ? 0 : it->second.n;
+  const Profile* p = profile(station);
+  return p == nullptr ? 0 : p->n;
 }
 
 double BackoffMonitor::tx_share(int station) const {
-  std::int64_t total = 0;
-  for (const auto& [s, p] : profiles_) {
-    (void)s;
-    total += p.n;
-  }
-  if (total == 0) return 0.0;
-  return static_cast<double>(samples(station)) / static_cast<double>(total);
+  if (total_samples_ == 0) return 0.0;
+  return static_cast<double>(samples(station)) /
+         static_cast<double>(total_samples_);
 }
 
 bool BackoffMonitor::flagged(int station) const {
-  const auto it = profiles_.find(station);
-  if (it == profiles_.end() || it->second.n < cfg_.min_samples) return false;
+  const Profile* p = profile(station);
+  if (p == nullptr || p->n < cfg_.min_samples) return false;
   const double nominal = static_cast<double>(params_.cw_min) / 2.0;
-  if (it->second.ewma_slots >= cfg_.threshold_fraction * nominal) return false;
-  const double fair = 1.0 / static_cast<double>(profiles_.size());
+  if (p->ewma_slots >= cfg_.threshold_fraction * nominal) return false;
+  const double fair = 1.0 / static_cast<double>(num_stations_);
   return tx_share(station) > cfg_.share_factor * fair;
 }
 
 std::vector<int> BackoffMonitor::cheaters() const {
   std::vector<int> out;
-  for (const auto& [station, p] : profiles_) {
-    (void)p;
-    if (flagged(station)) out.push_back(station);
+  for (std::size_t s = 0; s < profiles_.size(); ++s) {
+    if (profiles_[s].n > 0 && flagged(static_cast<int>(s))) {
+      out.push_back(static_cast<int>(s));
+    }
+  }
+  return out;
+}
+
+std::vector<int> BackoffMonitor::stations() const {
+  std::vector<int> out;
+  for (std::size_t s = 0; s < profiles_.size(); ++s) {
+    if (profiles_[s].n > 0) out.push_back(static_cast<int>(s));
   }
   return out;
 }

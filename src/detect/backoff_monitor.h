@@ -19,13 +19,21 @@
 // The observer only attributes frames that carry a transmitter address
 // (RTS/DATA), and only counts gaps that plausibly contain a full
 // deference (ignoring SIFS responses).
+//
+// Like NavValidator, the monitor reads time through a Clock and exposes
+// its two event handlers (on_edge for busy/idle transitions, on_frame for
+// attributable transmissions) publicly, so the offline replay/monitor
+// front-end can re-issue exactly the calls the live hooks make. Per-station
+// profiles live in a dense node-id-indexed table with the attributed-
+// transmission total maintained incrementally: the per-frame path is O(1)
+// and allocation-free once every station has been seen.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "src/mac/mac.h"
+#include "src/sim/clock.h"
 #include "src/sim/scheduler.h"
 
 namespace g80211 {
@@ -39,13 +47,23 @@ class BackoffMonitor {
     double share_factor = 1.3;        // x the fair share of transmissions
   };
 
+  BackoffMonitor(Clock clock, const WifiParams& params, Config cfg)
+      : clock_(clock), params_(params), cfg_(cfg) {}
+  BackoffMonitor(Clock clock, const WifiParams& params)
+      : BackoffMonitor(clock, params, Config{}) {}
   BackoffMonitor(Scheduler& sched, const WifiParams& params, Config cfg)
-      : sched_(&sched), params_(params), cfg_(cfg) {}
+      : BackoffMonitor(Clock(sched), params, cfg) {}
   BackoffMonitor(Scheduler& sched, const WifiParams& params)
-      : BackoffMonitor(sched, params, Config{}) {}
+      : BackoffMonitor(Clock(sched), params, Config{}) {}
 
   // Install on the observer's MAC (chains sniffer and channel_observer).
   void attach(Mac& mac);
+
+  // Batch entry points — the calls attach() wires live. on_edge must be
+  // invoked with the bound clock advanced to the edge's time (only the
+  // busy -> idle transition matters; busy edges are accepted and ignored).
+  void on_edge(bool busy);
+  void on_frame(const Frame& frame, const RxInfo& info);
 
   // Smoothed observed backoff (slots) for a station; negative if unknown.
   double observed_backoff(int station) const;
@@ -55,21 +73,24 @@ class BackoffMonitor {
   bool flagged(int station) const;
   // Every station currently flagged.
   std::vector<int> cheaters() const;
+  // Every station with at least one attributed transmission, ascending id.
+  std::vector<int> stations() const;
 
  private:
-  void on_edge(bool busy);
-  void on_frame(const Frame& frame, const RxInfo& info);
-
   struct Profile {
     double ewma_slots = -1.0;
     std::int64_t n = 0;
   };
 
-  Scheduler* sched_;
+  const Profile* profile(int station) const;
+
+  Clock clock_;
   WifiParams params_;
   Config cfg_;
   Time idle_since_ = kNever;  // when the medium last went idle
-  std::map<int, Profile> profiles_;
+  std::vector<Profile> profiles_;   // node-id-indexed
+  std::int64_t total_samples_ = 0;  // sum of profiles_[i].n
+  std::int64_t num_stations_ = 0;   // profiles with n > 0
 };
 
 }  // namespace g80211

@@ -11,12 +11,10 @@ void CrossLayerDetector::attach(Mac& mac, TcpSender& tcp) {
                                                        bool acked) {
     if (prev) prev(p, acked);
     if (acked && p && p->flow_id == flow_id_ && !p->tcp.is_ack) {
-      mac_acked_.insert(p->tcp.seq);
+      on_mac_acked(p->tcp.seq);
     }
   };
-  tcp.on_retransmit = [this](std::int64_t seq) {
-    if (mac_acked_.count(seq)) ++suspicious_;
-  };
+  tcp.on_retransmit = [this](std::int64_t seq) { on_tcp_retransmit(seq); };
 }
 
 }  // namespace g80211

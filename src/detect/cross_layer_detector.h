@@ -6,6 +6,12 @@
 // acknowledged at the MAC, and counts TCP-level retransmissions of
 // segments the MAC claims were delivered. Assuming wireline loss is much
 // smaller than wireless loss, such events indicate a spoofed MAC ACK.
+//
+// The detection core is two events — "the MAC acknowledged TCP segment s"
+// and "TCP retransmitted segment s" — exposed directly as on_mac_acked /
+// on_tcp_retransmit, so the offline replay/monitor front-end can re-issue
+// them from a capture journal. attach() wires the same two calls to the
+// live MAC completion tap and the TCP sender's retransmit hook.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +30,14 @@ class CrossLayerDetector {
 
   // Wire to the sender MAC and the TCP sender of one flow.
   void attach(Mac& mac, TcpSender& tcp);
+
+  // Batch entry points — the calls attach() wires live. The caller is
+  // responsible for the flow filter (attach() only forwards this flow's
+  // non-TCP-ACK segments to on_mac_acked).
+  void on_mac_acked(std::int64_t tcp_seq) { mac_acked_.insert(tcp_seq); }
+  void on_tcp_retransmit(std::int64_t tcp_seq) {
+    if (mac_acked_.count(tcp_seq)) ++suspicious_;
+  }
 
   std::int64_t suspicious_retransmissions() const { return suspicious_; }
   std::int64_t mac_acked_segments() const { return static_cast<std::int64_t>(mac_acked_.size()); }

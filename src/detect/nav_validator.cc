@@ -8,13 +8,26 @@
 
 namespace g80211 {
 
+NavValidator::NavValidator(Clock clock, const WifiParams& params)
+    : clock_(clock), params_(params) {
+  max_rts_ = Durations::max_rts(params_);
+  max_cts_ = Durations::max_cts(params_);
+  data_nav_ = Durations::data(params_);
+  cts_ctx_window_ = params_.sifs + params_.cts_tx_time() + 2 * params_.slot;
+  ack_ctx_window_ = params_.sifs + params_.ack_tx_time() + 2 * params_.slot;
+}
+
 void NavValidator::observe(const Frame& frame, const RxInfo& info) {
   if (info.corrupted) return;
-  if (frame.type == FrameType::kRts && frame.ta != kNoAddr) {
+  if (frame.type == FrameType::kRts && frame.ta >= 0) {
     // Remember the exchange context. Bound the stored duration so an
     // inflated RTS cannot launder inflation into the expected CTS.
-    const Time bounded = std::min(frame.duration, Durations::max_rts(params_));
-    rts_by_ta_[frame.ta] = RtsSeen{bounded, sched_->now()};
+    if (static_cast<std::size_t>(frame.ta) >= rts_by_ta_.size()) {
+      rts_by_ta_.resize(static_cast<std::size_t>(frame.ta) + 1);
+    }
+    const Time bounded = std::min(frame.duration, max_rts_);
+    rts_by_ta_[static_cast<std::size_t>(frame.ta)] =
+        RtsSeen{bounded, clock_.now()};
   }
   if (frame.type == FrameType::kData) {
     last_data_more_ = frame.more_frags;
@@ -26,17 +39,20 @@ void NavValidator::observe(const Frame& frame, const RxInfo& info) {
 Time NavValidator::expected_duration(const Frame& frame) const {
   switch (frame.type) {
     case FrameType::kRts:
-      return std::min(frame.duration, Durations::max_rts(params_));
+      return std::min(frame.duration, max_rts_);
     case FrameType::kCts: {
       // The CTS's RA is the RTS transmitter; if we heard that RTS recently
       // we know the exact remaining exchange time.
-      const auto it = rts_by_ta_.find(frame.ra);
-      const Time window = params_.sifs + params_.cts_tx_time() + 2 * params_.slot;
-      if (it != rts_by_ta_.end() && sched_->now() - it->second.heard_at <= window) {
-        return std::min(frame.duration,
-                        Durations::cts_from_rts(params_, it->second.duration));
+      if (frame.ra >= 0 &&
+          static_cast<std::size_t>(frame.ra) < rts_by_ta_.size()) {
+        const RtsSeen& seen = rts_by_ta_[static_cast<std::size_t>(frame.ra)];
+        if (seen.heard_at != kNever &&
+            clock_.now() - seen.heard_at <= cts_ctx_window_) {
+          return std::min(frame.duration,
+                          Durations::cts_from_rts(params_, seen.duration));
+        }
       }
-      return std::min(frame.duration, Durations::max_cts(params_));
+      return std::min(frame.duration, max_cts_);
     }
     case FrameType::kData: {
       if (assume_fragmentation && frame.more_frags) {
@@ -47,7 +63,7 @@ Time NavValidator::expected_duration(const Frame& frame) const {
         return std::min(frame.duration, bound);
       }
       // A (final or unfragmented) data frame's NAV only covers SIFS + ACK.
-      return std::min(frame.duration, Durations::data(params_));
+      return std::min(frame.duration, data_nav_);
     }
     case FrameType::kAck: {
       if (!assume_fragmentation) {
@@ -57,15 +73,15 @@ Time NavValidator::expected_duration(const Frame& frame) const {
       // Fragment-burst ACK: if we overheard the eliciting fragment we know
       // whether more are coming and how big they can be (fragments are
       // threshold-sized, so the next is no larger than the last).
-      const Time window = params_.sifs + params_.ack_tx_time() + 2 * params_.slot;
-      if (last_data_end_ != kNever && sched_->now() - last_data_end_ <= window) {
+      if (last_data_end_ != kNever &&
+          clock_.now() - last_data_end_ <= ack_ctx_window_) {
         if (!last_data_more_) return 0;
         const Time bound = 2 * params_.sifs + params_.ack_tx_time() +
                            params_.data_tx_time(last_data_bytes_);
         return std::min(frame.duration, bound);
       }
       // Out of range of the data: bound by the largest legal fragment.
-      return std::min(frame.duration, Durations::max_cts(params_));
+      return std::min(frame.duration, max_cts_);
     }
   }
   return frame.duration;

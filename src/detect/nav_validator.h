@@ -9,20 +9,29 @@
 //      exchange, assuming the 1500-byte Internet MTU.
 // Recovery: the validator returns the expected/bounded duration, which the
 // MAC uses for its NAV instead of the inflated value.
+//
+// The validator reads time through a Clock (src/sim/clock.h): live it
+// follows the simulation Scheduler; offline the replay/monitor front-end
+// binds it to a ManualClock advanced to each journalled event. Per-station
+// exchange context lives in a dense node-id-indexed table, so observing a
+// frame is O(1) with no allocation once every transmitter has been seen.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "src/mac/mac.h"
+#include "src/sim/clock.h"
 #include "src/sim/scheduler.h"
 
 namespace g80211 {
 
 class NavValidator {
  public:
+  NavValidator(Clock clock, const WifiParams& params);
   NavValidator(Scheduler& sched, const WifiParams& params)
-      : sched_(&sched), params_(params) {}
+      : NavValidator(Clock(sched), params) {}
 
   // Install on any station: chains onto the sniffer (to learn exchange
   // context from overheard RTS frames) and takes over the nav_filter.
@@ -49,25 +58,32 @@ class NavValidator {
   }
   std::int64_t frames_validated() const { return validated_; }
 
-  // Replay entry points (offline capture pipeline, src/capture/replay.h):
-  // exactly the two calls attach() wires live — observe() is the sniffer
-  // chain (exchange-context learning, every overheard frame), validate()
-  // is the nav_filter (counts a detection and returns the corrected
-  // Duration). The scheduler passed at construction must be advanced to
-  // each frame's reception time before calling, so the RTS/fragment
-  // context windows see the same clock as a live run.
+  // Batch entry points (offline capture pipeline, src/capture/replay.h,
+  // and the streaming monitor): exactly the two calls attach() wires live
+  // — observe() is the sniffer chain (exchange-context learning, every
+  // overheard frame), validate() is the nav_filter (counts a detection and
+  // returns the corrected Duration). The clock bound at construction must
+  // be advanced to each frame's reception time before calling, so the
+  // RTS/fragment context windows see the same time as a live run.
   void observe(const Frame& frame, const RxInfo& info);
   Time validate(const Frame& frame, const RxInfo& info);
 
  private:
   struct RtsSeen {
-    Time duration = 0;  // already bounded by the max-MTU RTS rule
-    Time heard_at = 0;
+    Time duration = 0;      // already bounded by the max-MTU RTS rule
+    Time heard_at = kNever; // kNever: no RTS from this station yet
   };
 
-  Scheduler* sched_;
+  Clock clock_;
   WifiParams params_;
-  std::map<int, RtsSeen> rts_by_ta_;  // RTS transmitter -> context
+  // Bounds and context windows are pure functions of the params; computed
+  // once so the per-frame path does no duration arithmetic.
+  Time max_rts_ = 0;
+  Time max_cts_ = 0;
+  Time data_nav_ = 0;         // SIFS + T_ACK
+  Time cts_ctx_window_ = 0;   // how long an overheard RTS stays relevant
+  Time ack_ctx_window_ = 0;   // how long an overheard DATA stays relevant
+  std::vector<RtsSeen> rts_by_ta_;  // node-id-indexed exchange context
   // Most recent overheard DATA frame (fragment-burst context for ACKs).
   bool last_data_more_ = false;
   int last_data_bytes_ = 0;

@@ -1,28 +1,50 @@
 #include "src/detect/rssi_monitor.h"
 
 #include <algorithm>
-#include <vector>
+
+#include "src/sim/check.h"
 
 namespace g80211 {
 
 void RssiMonitor::add_sample(int peer, double rssi_dbm) {
-  auto& h = history_[peer];
-  h.push_back(rssi_dbm);
-  if (h.size() > window_) h.pop_front();
+  G80211_DCHECK(peer >= 0 && "RSSI profiles are keyed by station id");
+  if (peer < 0) return;
+  if (static_cast<std::size_t>(peer) >= history_.size()) {
+    history_.resize(static_cast<std::size_t>(peer) + 1);
+  }
+  Ring& r = history_[static_cast<std::size_t>(peer)];
+  if (r.buf.empty()) r.buf.resize(window_);
+  r.buf[r.next] = rssi_dbm;
+  r.next = (r.next + 1) % window_;
+  if (r.count < window_) ++r.count;
 }
 
 std::optional<double> RssiMonitor::median(int peer) const {
-  const auto it = history_.find(peer);
-  if (it == history_.end() || it->second.empty()) return std::nullopt;
-  std::vector<double> v(it->second.begin(), it->second.end());
-  const std::size_t mid = v.size() / 2;
-  std::nth_element(v.begin(), v.begin() + mid, v.end());
-  return v[mid];
+  if (peer < 0 || static_cast<std::size_t>(peer) >= history_.size()) {
+    return std::nullopt;
+  }
+  const Ring& r = history_[static_cast<std::size_t>(peer)];
+  if (r.count == 0) return std::nullopt;
+  scratch_.assign(r.buf.begin(),
+                  r.buf.begin() + static_cast<std::ptrdiff_t>(r.count));
+  const std::size_t mid = r.count / 2;
+  std::nth_element(scratch_.begin(),
+                   scratch_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   scratch_.end());
+  return scratch_[mid];
 }
 
 std::size_t RssiMonitor::samples(int peer) const {
-  const auto it = history_.find(peer);
-  return it == history_.end() ? 0 : it->second.size();
+  if (peer < 0 || static_cast<std::size_t>(peer) >= history_.size()) return 0;
+  return history_[static_cast<std::size_t>(peer)].count;
+}
+
+std::vector<int> RssiMonitor::peers() const {
+  std::vector<int> out;
+  for (std::size_t p = 0; p < history_.size(); ++p) {
+    if (history_[p].count > 0) out.push_back(static_cast<int>(p));
+  }
+  return out;
 }
 
 }  // namespace g80211

@@ -6,12 +6,16 @@
 // address (RTS/DATA — e.g. the victim's TCP ACK data frames); CTS/ACK
 // frames are never used to learn a profile, since they are the very frames
 // an attacker can forge.
+//
+// Storage is a dense node-id-indexed table of fixed-capacity ring buffers:
+// recording a sample is O(1) and allocation-free once a peer's ring exists
+// (one allocation per peer, at first sight), which keeps the monitor on
+// the streaming engine's steady-state no-heap path.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <optional>
+#include <vector>
 
 namespace g80211 {
 
@@ -22,10 +26,20 @@ class RssiMonitor {
   void add_sample(int peer, double rssi_dbm);
   std::optional<double> median(int peer) const;
   std::size_t samples(int peer) const;
+  // Every peer with at least one recorded sample, ascending id.
+  std::vector<int> peers() const;
 
  private:
+  // Last `window_` samples for one peer, oldest overwritten first.
+  struct Ring {
+    std::vector<double> buf;  // capacity window_, sized lazily
+    std::size_t next = 0;     // write position
+    std::size_t count = 0;    // samples currently held (<= window_)
+  };
+
   std::size_t window_;
-  std::map<int, std::deque<double>> history_;
+  std::vector<Ring> history_;  // node-id-indexed
+  mutable std::vector<double> scratch_;  // median workspace, reused
 };
 
 }  // namespace g80211

@@ -37,6 +37,7 @@ class SpoofDetector {
   bool should_ignore(int peer, double rssi_dbm) const;
 
   RssiMonitor& monitor() { return monitor_; }
+  const RssiMonitor& monitor() const { return monitor_; }
   double threshold_db() const { return threshold_db_; }
 
   // Ground-truth evaluation counters.

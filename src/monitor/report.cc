@@ -1,0 +1,215 @@
+#include "src/monitor/report.h"
+
+#include <map>
+
+namespace g80211 {
+
+int attributed_tx(const CapturedFrame& f) {
+  if (f.ta != kNoAddr) return f.ta;
+  return f.true_tx;
+}
+
+Time frame_airtime(const CapturedFrame& f) {
+  if (f.end > f.start) return f.end - f.start;
+  if (f.rate_mbps > 0) {
+    return tx_time(static_cast<std::int64_t>(f.bytes) * 8, f.rate_mbps);
+  }
+  return 0;
+}
+
+void print_skip_stats(std::FILE* out, std::int64_t skipped,
+                      std::int64_t first_offset) {
+  if (skipped <= 0) return;
+  std::fprintf(out,
+               "  skipped %lld unrecognised record(s) (first at byte offset "
+               "%lld)\n",
+               static_cast<long long>(skipped),
+               static_cast<long long>(first_offset));
+}
+
+void print_capture_summary(std::FILE* out, const Capture& cap,
+                           const std::string& path) {
+  std::fprintf(out, "capture %s\n", path.c_str());
+  if (cap.has_params) {
+    std::fprintf(out, "  vantage station: %d   horizon: %.6f s   frames: %zu\n",
+                 cap.owner, to_seconds(cap.end_time), cap.frames.size());
+  } else {
+    std::fprintf(out, "  frames: %zu (pcap: no vantage/params metadata)\n",
+                 cap.frames.size());
+  }
+  print_skip_stats(out, cap.skipped_unknown, cap.first_skipped_offset);
+
+  // Per-station airtime and frame counts.
+  struct Station {
+    std::int64_t frames = 0;
+    Time airtime = 0;
+  };
+  std::map<int, Station> stations;
+  std::int64_t unattributed = 0;
+  std::int64_t corrupted = 0, collided = 0, retries = 0;
+  for (const CapturedFrame& f : cap.frames) {
+    if (f.corrupted) ++corrupted;
+    if (f.collided) ++collided;
+    if (f.retry) ++retries;
+    const int tx = attributed_tx(f);
+    if (tx == kNoAddr) {
+      ++unattributed;
+      continue;
+    }
+    auto& s = stations[tx];
+    ++s.frames;
+    s.airtime += frame_airtime(f);
+  }
+
+  std::fprintf(out, "\n  %-10s %10s %14s\n", "station", "frames", "airtime_ms");
+  for (const auto& [id, s] : stations) {
+    std::fprintf(out, "  %-10d %10lld %14.3f\n", id,
+                 static_cast<long long>(s.frames), to_millis(s.airtime));
+  }
+  if (unattributed > 0) {
+    std::fprintf(out, "  %-10s %10lld %14s\n", "(CTS/ACK)",
+                 static_cast<long long>(unattributed), "-");
+  }
+  std::fprintf(out, "\n  corrupted: %lld   collisions: %lld   retries: %lld\n",
+               static_cast<long long>(corrupted),
+               static_cast<long long>(collided),
+               static_cast<long long>(retries));
+
+  // Duration/NAV histogram: exponential microsecond buckets — inflated
+  // NAVs (the paper's 30 ms CTS attack) land in the top buckets.
+  static constexpr double kEdgesUs[] = {0.0,    100.0,   300.0,  1000.0,
+                                        3000.0, 10000.0, 32767.0};
+  constexpr int kBuckets =
+      static_cast<int>(sizeof(kEdgesUs) / sizeof(kEdgesUs[0]));
+  std::int64_t hist[kBuckets] = {};
+  for (const CapturedFrame& f : cap.frames) {
+    const double us = to_micros(f.duration);
+    int b = 0;
+    while (b + 1 < kBuckets && us > kEdgesUs[b]) ++b;
+    ++hist[b];
+  }
+  std::fprintf(out, "\n  NAV histogram (Duration field, us):\n");
+  const char* labels[kBuckets] = {"0",          "(0,100]",   "(100,300]",
+                                  "(300,1e3]",  "(1e3,3e3]", "(3e3,1e4]",
+                                  "(1e4,32767]"};
+  for (int b = 0; b < kBuckets; ++b) {
+    if (hist[b] == 0) continue;
+    std::fprintf(out, "  %-14s %10lld\n", labels[b],
+                 static_cast<long long>(hist[b]));
+  }
+}
+
+void print_replay_result(std::FILE* out, int owner, const ReplayResult& res) {
+  std::fprintf(out, "\n  offline GRC verdicts (replayed at station %d):\n",
+               owner);
+  std::fprintf(out, "  NAV validation: %lld frames validated, %lld inflated\n",
+               static_cast<long long>(res.nav_validated),
+               static_cast<long long>(res.nav_detections));
+  for (const auto& [node, n] : res.nav_detections_by_node) {
+    std::fprintf(out, "    station %-4d flagged %lld time(s)\n", node,
+                 static_cast<long long>(n));
+  }
+  if (res.acks_checked > 0) {
+    std::fprintf(
+        out,
+        "  ACK spoofing: %lld ACKs checked, %lld flagged "
+        "(tp=%lld fp=%lld tn=%lld fn=%lld)\n",
+        static_cast<long long>(res.acks_checked),
+        static_cast<long long>(res.spoof_flagged()),
+        static_cast<long long>(res.spoof_tp),
+        static_cast<long long>(res.spoof_fp),
+        static_cast<long long>(res.spoof_tn),
+        static_cast<long long>(res.spoof_fn));
+  }
+  for (const FakeAckVerdict& v : res.fake_ack) {
+    std::fprintf(
+        out,
+        "  fake-ACK probe toward %d: %lld probes, app loss %.3f vs expected "
+        "%.3f (MAC loss %.3f) -> %s\n",
+        v.dest, static_cast<long long>(v.probes_seen), v.application_loss,
+        v.expected_app_loss, v.mac_loss,
+        v.detected ? "GREEDY RECEIVER DETECTED" : "honest");
+  }
+  for (const BackoffVerdict& v : res.backoff) {
+    std::fprintf(out,
+                 "  backoff station %-4d ewma %.2f slots over %lld samples, "
+                 "tx share %.3f -> %s\n",
+                 v.station, v.ewma_slots, static_cast<long long>(v.samples),
+                 v.tx_share, v.flagged ? "CHEATER" : "honest");
+  }
+  for (const RssiProfile& p : res.rssi) {
+    std::fprintf(out, "  rssi profile peer %-4d median %.2f dBm (%lld samples)\n",
+                 p.peer, p.median_dbm, static_cast<long long>(p.samples));
+  }
+  for (const CrossLayerVerdict& v : res.cross_layer) {
+    std::fprintf(out,
+                 "  cross-layer flow %-4d %lld MAC-acked segments, %lld "
+                 "suspicious retransmissions -> %s\n",
+                 v.flow_id, static_cast<long long>(v.mac_acked),
+                 static_cast<long long>(v.suspicious),
+                 v.detected ? "SPOOFED-ACK FLOW" : "honest");
+  }
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else if (ch == '\t') {
+      out += "\\t";
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+}
+
+void append_int_array(std::string& out, const std::vector<int>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(v[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string window_jsonl(const std::string& stream, const WindowRecord& w) {
+  std::string out = "{\"monitor_window\":{\"stream\":";
+  append_json_string(out, stream);
+  out += ",\"start\":" + std::to_string(w.start);
+  out += ",\"end\":" + std::to_string(w.end);
+  out += ",\"frames\":" + std::to_string(w.frames);
+  out += ",\"nav_detections\":" + std::to_string(w.nav_detections);
+  out += ",\"spoof_flagged\":" + std::to_string(w.spoof_flagged);
+  out += ",\"acks_ignored\":" + std::to_string(w.acks_ignored);
+  out += ",\"backoff_cheaters\":";
+  append_int_array(out, w.backoff_cheaters);
+  out += ",\"fake_ack_detected\":";
+  append_int_array(out, w.fake_ack_detected);
+  out += ",\"cross_layer_detected\":";
+  append_int_array(out, w.cross_layer_detected);
+  out += "}}";
+  return out;
+}
+
+std::string alert_jsonl(const std::string& stream, const Alert& a) {
+  std::string out = "{\"monitor_alert\":{\"stream\":";
+  append_json_string(out, stream);
+  out += ",\"kind\":";
+  append_json_string(out, alert_kind_name(a.kind));
+  out += ",\"at\":" + std::to_string(a.at);
+  out += ",\"subject\":" + std::to_string(a.subject);
+  out += ",\"evidence\":" + std::to_string(a.evidence);
+  out += "}}";
+  return out;
+}
+
+}  // namespace g80211

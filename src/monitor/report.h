@@ -1,0 +1,51 @@
+// Shared human- and machine-readable reporting for the capture CLIs.
+//
+// g80211_capture and g80211_monitor present the same things — per-station
+// airtime tables, the NAV histogram, skip-and-count statistics, the
+// offline GRC verdict table — so the formatting lives here once, next to
+// the verdict types it renders. Everything writes to a caller-supplied
+// FILE* (the CLIs choose stdout/stderr); nothing here reads the clock or
+// blocks.
+//
+// The JSONL emitters render one WindowRecord or Alert per line for the
+// monitor's streaming output. Keys are stable: they are the tool's wire
+// format, consumed by tests and downstream scripts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/capture/capture.h"
+#include "src/capture/replay.h"
+#include "src/monitor/engine.h"
+
+namespace g80211 {
+
+// Attributed transmitter of a frame: TA when the frame carries one, the
+// journal's ground truth otherwise (pcap CTS/ACK stay unattributed).
+int attributed_tx(const CapturedFrame& f);
+
+// On-air time of one frame. The journal records exact edges; a pcap only
+// has the start timestamp, so fall back to payload bits / rate (the PLCP
+// preamble is not recoverable from a pcap and is excluded there).
+Time frame_airtime(const CapturedFrame& f);
+
+// Per-station airtime table, corruption counts, NAV histogram, and the
+// skip-and-count statistics when any record was skipped.
+void print_capture_summary(std::FILE* out, const Capture& cap,
+                           const std::string& path);
+
+// The full offline GRC verdict table (NAV, ACK spoofing, fake-ACK,
+// backoff, RSSI profiles, cross-layer) as replayed at `owner`.
+void print_replay_result(std::FILE* out, int owner, const ReplayResult& res);
+
+// "skipped N unrecognised record(s) (first at byte offset X)" — shared by
+// both CLIs so the skip statistics read identically everywhere.
+void print_skip_stats(std::FILE* out, std::int64_t skipped,
+                      std::int64_t first_offset);
+
+// One-line JSONL records for the monitor's streaming output.
+std::string window_jsonl(const std::string& stream, const WindowRecord& w);
+std::string alert_jsonl(const std::string& stream, const Alert& a);
+
+}  // namespace g80211

@@ -1,0 +1,55 @@
+// A read-only clock the detectors tell time by — the seam that lets one
+// detector implementation serve two front-ends.
+//
+// Live, a detector follows the Scheduler that drives the simulation; the
+// hooks it chains onto fire with that clock already advanced. Offline
+// (capture replay, the streaming monitor) there is no simulation: the
+// replay walk owns a ManualClock and advances it to each journalled
+// event's live callback time before re-issuing the call. Either way the
+// detector just calls Clock::now() — it cannot tell which front-end it is
+// behind, which is exactly the guarantee the live-vs-replay equivalence
+// suite leans on.
+//
+// Clock is a non-owning view (two words): every detector bound to the
+// same source reads the same time, so a replay engine advancing its one
+// ManualClock moves all of its detectors at once. The source must outlive
+// the detectors bound to it, the same lifetime rule the Scheduler already
+// imposes live.
+#pragma once
+
+#include "src/sim/check.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace g80211 {
+
+// An advanceable time source for clock owners outside a simulation
+// (capture replay, the streaming monitor). Never rewinds; a stale
+// advance_to() is a no-op so callers can pass every event time without
+// de-duplicating ties first.
+class ManualClock {
+ public:
+  Time now() const { return now_; }
+  void advance_to(Time at) {
+    if (at > now_) now_ = at;
+  }
+
+ private:
+  Time now_ = 0;
+};
+
+class Clock {
+ public:
+  explicit Clock(const Scheduler& sched) : sched_(&sched) {}
+  explicit Clock(const ManualClock& manual) : manual_(&manual) {}
+
+  Time now() const {
+    return sched_ != nullptr ? sched_->now() : manual_->now();
+  }
+
+ private:
+  const Scheduler* sched_ = nullptr;
+  const ManualClock* manual_ = nullptr;
+};
+
+}  // namespace g80211

@@ -24,6 +24,8 @@
 #include "src/capture/capture_reader.h"
 #include "src/capture/capture_writer.h"
 #include "src/capture/replay.h"
+#include "src/detect/backoff_monitor.h"
+#include "src/detect/cross_layer_detector.h"
 #include "src/detect/fake_ack_detector.h"
 #include "src/detect/nav_validator.h"
 #include "src/detect/spoof_detector.h"
@@ -220,6 +222,7 @@ TEST(CaptureReader, SkipsUnknownPcapRecords) {
   std::vector<std::uint8_t> bytes = slurp(stem + ".pcap");
   const Capture clean = parse_pcap(bytes);
   ASSERT_GT(clean.frames.size(), 10u);
+  EXPECT_EQ(clean.first_skipped_offset, -1);
 
   // Rewrite the first record's Frame Control byte to a management frame
   // (a beacon): unknown to the parser, skipped and counted, not fatal.
@@ -227,6 +230,9 @@ TEST(CaptureReader, SkipsUnknownPcapRecords) {
   const Capture cap = parse_pcap(bytes);
   EXPECT_EQ(cap.skipped_unknown, 1);
   EXPECT_EQ(cap.frames.size(), clean.frames.size() - 1);
+  // The skip statistics point at the record, not the bad byte: the first
+  // record header starts right after the 24-byte pcap file header.
+  EXPECT_EQ(cap.first_skipped_offset, 24);
 }
 
 TEST(CaptureReader, DispatchesByContent) {
@@ -300,6 +306,106 @@ TEST(Replay, MatchesLiveSpoofDetectorVerdicts) {
   EXPECT_EQ(offline.spoof_flagged(), detector.flagged());
   EXPECT_EQ(offline.acks_ignored,
             static_cast<std::int64_t>(ns.mac().stats().acks_ignored));
+
+  // The learned physical-layer profiles match too: same peers, same sample
+  // counts, same sliding-window medians (the journal carries the measured
+  // RSSI of every reception, so the offline monitor sees the identical
+  // sample sequence).
+  const RssiMonitor& live_mon = detector.monitor();
+  std::vector<RssiProfile> live_rssi;
+  for (const int peer : live_mon.peers()) {
+    live_rssi.push_back(
+        RssiProfile{peer, static_cast<std::int64_t>(live_mon.samples(peer)),
+                    live_mon.median(peer).value_or(0.0)});
+  }
+  ASSERT_FALSE(live_rssi.empty());
+  EXPECT_EQ(offline.rssi, live_rssi);
+}
+
+TEST(Replay, MatchesLiveBackoffMonitorVerdicts) {
+  // The DOMINO baseline from a bystander vantage: two saturated UDP pairs,
+  // the second sender backing off a tenth of what it should. The capture
+  // and the live monitor both ride receiver 1's MAC, so replay sees the
+  // exact busy/idle history the live channel_observer fed.
+  SimConfig cfg;
+  cfg.warmup = milliseconds(10);
+  cfg.measure = seconds(2);
+  cfg.seed = 26;
+  Sim sim(cfg);
+  const PairLayout l = pairs_in_range(2);
+  Node& honest_s = sim.add_node(l.senders[0]);
+  Node& greedy_s = sim.add_node(l.senders[1]);
+  Node& r1 = sim.add_node(l.receivers[0]);
+  Node& r2 = sim.add_node(l.receivers[1]);
+  sim.add_udp_flow(honest_s, r1);
+  sim.add_udp_flow(greedy_s, r2);
+  greedy_s.mac().set_backoff_cheat(0.1);
+
+  const std::string stem = artifact_stem("equiv_backoff");
+  CaptureWriter capture(sim.scheduler(), stem);
+  capture.attach(r1.mac());
+  BackoffMonitor monitor(sim.scheduler(), sim.params());
+  monitor.attach(r1.mac());
+
+  sim.run();
+  capture.close();
+  ASSERT_GT(monitor.samples(greedy_s.id()), 20);
+  ASSERT_TRUE(monitor.flagged(greedy_s.id())) << "scenario must exercise the attack";
+
+  std::vector<BackoffVerdict> live;
+  for (const int s : monitor.stations()) {
+    live.push_back(BackoffVerdict{s, monitor.observed_backoff(s),
+                                  monitor.samples(s), monitor.tx_share(s),
+                                  monitor.flagged(s)});
+  }
+
+  const ReplayResult offline = replay_capture(read_jsonl(stem + ".jsonl"));
+  EXPECT_EQ(offline.backoff, live);
+}
+
+TEST(Replay, MatchesLiveCrossLayerVerdicts) {
+  // The mobile-client fallback: no RSSI profile, so the victim sender
+  // correlates layers instead — TCP retransmissions of segments its MAC
+  // says were delivered betray the ACK spoofer. Same scenario as the RSSI
+  // test but with no ACK filter installed (live or offline): every spoofed
+  // ACK closes the exchange, so the spoofed segments really do get TCP
+  // retransmitted later.
+  SimConfig cfg;
+  cfg.warmup = milliseconds(10);
+  cfg.measure = seconds(2);
+  cfg.seed = 11;
+  cfg.default_ber = 2e-4;
+  cfg.capture_threshold = 10.0;
+  Sim sim(cfg);
+  const PairLayout l = pairs_in_range(2);
+  Node& ns = sim.add_node(l.senders[0]);
+  Node& gs = sim.add_node(l.senders[1]);
+  Node& nr = sim.add_node(l.receivers[0]);
+  Node& gr = sim.add_node(l.receivers[1]);
+  const Sim::TcpFlow victim = sim.add_tcp_flow(ns, nr);
+  sim.add_tcp_flow(gs, gr);
+  sim.make_ack_spoofer(gr, 1.0, {nr.id()});
+
+  const std::string stem = artifact_stem("equiv_xlayer");
+  CaptureWriter capture(sim.scheduler(), stem);
+  capture.attach(ns.mac());
+  CrossLayerDetector detector;
+  detector.attach(ns.mac(), *victim.sender);
+
+  sim.run();
+  capture.close();
+  ASSERT_GT(detector.suspicious_retransmissions(), 0)
+      << "scenario must exercise the attack";
+
+  ReplayOptions opts;
+  opts.spoof = false;  // mirror the live run: no ACK filter installed
+  const ReplayResult offline = replay_capture(read_jsonl(stem + ".jsonl"), opts);
+  ASSERT_EQ(offline.cross_layer.size(), 1u);
+  const CrossLayerVerdict& v = offline.cross_layer[0];
+  EXPECT_EQ(v.flow_id, victim.flow_id);
+  EXPECT_EQ(v.mac_acked, detector.mac_acked_segments());
+  EXPECT_EQ(v.suspicious, detector.suspicious_retransmissions());
+  EXPECT_EQ(v.detected, detector.detected());
 }
 
 TEST(Replay, MatchesLiveFakeAckVerdict) {

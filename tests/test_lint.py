@@ -47,6 +47,7 @@ def main():
     # 2. Each seeded bad fixture fails with exactly the expected rules.
     per_file = {
         "src/sim/layering_violation.h": {"layering"},
+        "src/sim/monitor_dependency.h": {"layering"},
         "src/sim/relative_include.cc": {"layering"},
         "src/sim/random.cc": {"nondet-random"},
         "src/sim/wallclock.cc": {"nondet-wallclock"},

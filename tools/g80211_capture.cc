@@ -5,145 +5,20 @@
 // Prints per-station airtime, a Duration/NAV histogram, corruption and
 // collision counts, and — when the file is a JSONL journal (which carries
 // the simulation parameters and ground truth) — the offline GRC verdict
-// table from src/capture/replay.h.
+// table from src/capture/replay.h. All formatting is shared with
+// g80211_monitor (src/monitor/report.h).
 //
 // Exit status: 0 on success, 1 when the file is malformed or replay
 // fails, 2 on usage errors.
-#include <algorithm>
 #include <cstdio>
 #include <exception>
-#include <map>
 #include <string>
-#include <vector>
 
 #include "src/capture/capture_reader.h"
 #include "src/capture/replay.h"
+#include "src/monitor/report.h"
 
 using namespace g80211;
-
-namespace {
-
-// Attributed transmitter of a frame: TA when the frame carries one, the
-// journal's ground truth otherwise (pcap CTS/ACK stay unattributed).
-int attributed_tx(const CapturedFrame& f) {
-  if (f.ta != kNoAddr) return f.ta;
-  return f.true_tx;
-}
-
-// On-air time of one frame. The journal records exact edges; a pcap only
-// has the start timestamp, so fall back to payload bits / rate (the PLCP
-// preamble is not recoverable from a pcap and is excluded there).
-Time frame_airtime(const CapturedFrame& f) {
-  if (f.end > f.start) return f.end - f.start;
-  if (f.rate_mbps > 0) return tx_time(static_cast<std::int64_t>(f.bytes) * 8, f.rate_mbps);
-  return 0;
-}
-
-void print_summary(const Capture& cap, const std::string& path) {
-  std::printf("capture %s\n", path.c_str());
-  if (cap.has_params) {
-    std::printf("  vantage station: %d   horizon: %.6f s   frames: %zu\n",
-                cap.owner, to_seconds(cap.end_time), cap.frames.size());
-  } else {
-    std::printf("  frames: %zu (pcap: no vantage/params metadata)\n",
-                cap.frames.size());
-  }
-  if (cap.skipped_unknown > 0) {
-    std::printf("  skipped %lld unrecognised record(s)\n",
-                static_cast<long long>(cap.skipped_unknown));
-  }
-
-  // Per-station airtime and frame counts.
-  struct Station {
-    std::int64_t frames = 0;
-    Time airtime = 0;
-  };
-  std::map<int, Station> stations;
-  std::int64_t unattributed = 0;
-  std::int64_t corrupted = 0, collided = 0, retries = 0;
-  for (const CapturedFrame& f : cap.frames) {
-    if (f.corrupted) ++corrupted;
-    if (f.collided) ++collided;
-    if (f.retry) ++retries;
-    const int tx = attributed_tx(f);
-    if (tx == kNoAddr) {
-      ++unattributed;
-      continue;
-    }
-    auto& s = stations[tx];
-    ++s.frames;
-    s.airtime += frame_airtime(f);
-  }
-
-  std::printf("\n  %-10s %10s %14s\n", "station", "frames", "airtime_ms");
-  for (const auto& [id, s] : stations) {
-    std::printf("  %-10d %10lld %14.3f\n", id,
-                static_cast<long long>(s.frames), to_millis(s.airtime));
-  }
-  if (unattributed > 0) {
-    std::printf("  %-10s %10lld %14s\n", "(CTS/ACK)",
-                static_cast<long long>(unattributed), "-");
-  }
-  std::printf("\n  corrupted: %lld   collisions: %lld   retries: %lld\n",
-              static_cast<long long>(corrupted),
-              static_cast<long long>(collided),
-              static_cast<long long>(retries));
-
-  // Duration/NAV histogram: exponential microsecond buckets — inflated
-  // NAVs (the paper's 30 ms CTS attack) land in the top buckets.
-  static constexpr double kEdgesUs[] = {0.0, 100.0, 300.0, 1000.0,
-                                        3000.0, 10000.0, 32767.0};
-  constexpr int kBuckets = static_cast<int>(sizeof(kEdgesUs) / sizeof(kEdgesUs[0]));
-  std::int64_t hist[kBuckets] = {};
-  for (const CapturedFrame& f : cap.frames) {
-    const double us = to_micros(f.duration);
-    int b = 0;
-    while (b + 1 < kBuckets && us > kEdgesUs[b]) ++b;
-    ++hist[b];
-  }
-  std::printf("\n  NAV histogram (Duration field, us):\n");
-  const char* labels[kBuckets] = {"0",          "(0,100]",    "(100,300]",
-                                  "(300,1e3]",  "(1e3,3e3]",  "(3e3,1e4]",
-                                  "(1e4,32767]"};
-  for (int b = 0; b < kBuckets; ++b) {
-    if (hist[b] == 0) continue;
-    std::printf("  %-14s %10lld\n", labels[b], static_cast<long long>(hist[b]));
-  }
-}
-
-void print_replay(const Capture& cap) {
-  const ReplayResult res = replay_capture(cap);
-  std::printf("\n  offline GRC verdicts (replayed at station %d):\n",
-              cap.owner);
-  std::printf("  NAV validation: %lld frames validated, %lld inflated\n",
-              static_cast<long long>(res.nav_validated),
-              static_cast<long long>(res.nav_detections));
-  for (const auto& [node, n] : res.nav_detections_by_node) {
-    std::printf("    station %-4d flagged %lld time(s)\n", node,
-                static_cast<long long>(n));
-  }
-  if (res.acks_checked > 0) {
-    std::printf(
-        "  ACK spoofing: %lld ACKs checked, %lld flagged "
-        "(tp=%lld fp=%lld tn=%lld fn=%lld)\n",
-        static_cast<long long>(res.acks_checked),
-        static_cast<long long>(res.spoof_flagged()),
-        static_cast<long long>(res.spoof_tp),
-        static_cast<long long>(res.spoof_fp),
-        static_cast<long long>(res.spoof_tn),
-        static_cast<long long>(res.spoof_fn));
-  }
-  for (const FakeAckVerdict& v : res.fake_ack) {
-    std::printf(
-        "  fake-ACK probe toward %d: %lld probes, app loss %.3f vs expected "
-        "%.3f (MAC loss %.3f) -> %s\n",
-        v.dest, static_cast<long long>(v.probes_seen), v.application_loss,
-        v.expected_app_loss, v.mac_loss,
-        v.detected ? "GREEDY RECEIVER DETECTED" : "honest");
-  }
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 2 || std::string(argv[1]) == "-h" ||
@@ -154,8 +29,10 @@ int main(int argc, char** argv) {
   const std::string path = argv[1];
   try {
     const Capture cap = read_capture(path);
-    print_summary(cap, path);
-    if (cap.has_params) print_replay(cap);
+    print_capture_summary(stdout, cap, path);
+    if (cap.has_params) {
+      print_replay_result(stdout, cap.owner, replay_capture(cap));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "g80211_capture: %s\n", e.what());
     return 1;

@@ -1,0 +1,8 @@
+// Support header for the monitor-layering fixture (itself clean).
+#pragma once
+
+namespace g80211_fixture {
+
+inline int monitor_state() { return 7; }
+
+}  // namespace g80211_fixture

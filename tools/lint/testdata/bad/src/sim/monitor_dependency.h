@@ -1,0 +1,12 @@
+// Seeded violation: a lower layer reaching up into monitor/ — the
+// direction the real contract forbids for every directory under src/
+// (only tools/ and tests/ sit above the monitor).
+#pragma once
+
+#include "src/monitor/engine_stub.h"
+
+namespace g80211_fixture {
+
+inline int peek_monitor() { return monitor_state(); }
+
+}  // namespace g80211_fixture

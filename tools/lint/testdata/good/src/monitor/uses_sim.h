@@ -1,0 +1,10 @@
+// Clean fixture: the allowed downward edge (monitor/ -> sim/).
+#pragma once
+
+#include "src/sim/ok.h"
+
+namespace g80211_fixture {
+
+inline Event monitored(std::uint64_t when) { return Event{when, "monitor"}; }
+
+}  // namespace g80211_fixture
