@@ -8,7 +8,11 @@
 // regressions (>15% fails).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string_view>
+
 #include "bench/common.h"
+#include "bench/perf_counters.h"
 #include "src/sim/scheduler.h"
 
 using namespace g80211;
@@ -23,17 +27,61 @@ double sim_span_seconds(const SimConfig& cfg) {
   return to_seconds(cfg.warmup + cfg.measure);
 }
 
+// Ready-queue backend under test. G80211_SCHED_BACKEND=heap|wheel lets an
+// A/B run compare both backends from one binary (benchmark names stay
+// identical so compare_simperf diffs line up); unset means the engine
+// default, which is what the committed baseline records.
+SchedulerBackend bench_backend() {
+  const char* e = std::getenv("G80211_SCHED_BACKEND");
+  if (e != nullptr && std::string_view(e) == "heap") {
+    return SchedulerBackend::kDaryHeap;
+  }
+  if (e != nullptr && std::string_view(e) == "wheel") {
+    return SchedulerBackend::kTimingWheel;
+  }
+  return kDefaultSchedulerBackend;
+}
+
+// Attach the perf_event_open attribution counters. perf_hw_available is
+// always present (0/1) so readers can tell "no PMU on this box" from
+// "forgot to record"; the per-event rates appear only when their counter
+// was actually live.
+void report_perf(benchmark::State& state, const PerfCounters& pc,
+                 std::uint64_t events) {
+  state.counters["perf_hw_available"] =
+      benchmark::Counter(pc.hw_available() ? 1.0 : 0.0);
+  if (events == 0) return;
+  const double ev = static_cast<double>(events);
+  if (pc.hw_available()) {
+    state.counters["cycles_per_event"] =
+        benchmark::Counter(static_cast<double>(pc.cycles()) / ev);
+    state.counters["instructions_per_event"] =
+        benchmark::Counter(static_cast<double>(pc.instructions()) / ev);
+    if (pc.branches() > 0) {
+      state.counters["branch_miss_rate"] = benchmark::Counter(
+          static_cast<double>(pc.branch_misses()) /
+          static_cast<double>(pc.branches()));
+    }
+  }
+  if (pc.task_clock_available()) {
+    state.counters["task_clock_ns_per_event"] =
+        benchmark::Counter(static_cast<double>(pc.task_clock_ns()) / ev);
+  }
+}
+
 void BM_SaturatedUdpPairs(benchmark::State& state) {
   const int n_pairs = static_cast<int>(state.range(0));
   std::uint64_t seed = 1;
   double total = 0.0;
   double sim_seconds = 0.0;
   std::uint64_t events = 0;
+  PerfCounters pc;
   for (auto _ : state) {
     SimConfig cfg;
     cfg.measure = seconds(1);
     cfg.warmup = milliseconds(100);
     cfg.seed = seed++;
+    cfg.scheduler_backend = bench_backend();
     Sim sim(cfg);
     const PairLayout l = pairs_in_range(n_pairs);
     std::vector<Node*> senders, receivers;
@@ -43,7 +91,9 @@ void BM_SaturatedUdpPairs(benchmark::State& state) {
     for (int i = 0; i < n_pairs; ++i) {
       flows.push_back(sim.add_udp_flow(*senders[i], *receivers[i]));
     }
+    pc.start();
     sim.run();
+    pc.stop();
     sim_seconds += sim_span_seconds(cfg);
     events += sim.scheduler().executed();
     for (const auto& f : flows) total += f.goodput_mbps();
@@ -55,23 +105,28 @@ void BM_SaturatedUdpPairs(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
   state.counters["events_executed"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kAvgIterations);
+  report_perf(state, pc, events);
 }
 
 void BM_TcpPair(benchmark::State& state) {
   std::uint64_t seed = 1;
   double sim_seconds = 0.0;
   std::uint64_t events = 0;
+  PerfCounters pc;
   for (auto _ : state) {
     SimConfig cfg;
     cfg.measure = seconds(1);
     cfg.warmup = milliseconds(100);
     cfg.seed = seed++;
+    cfg.scheduler_backend = bench_backend();
     Sim sim(cfg);
     const PairLayout l = pairs_in_range(1);
     Node& s = sim.add_node(l.senders[0]);
     Node& r = sim.add_node(l.receivers[0]);
     auto f = sim.add_tcp_flow(s, r);
+    pc.start();
     sim.run();
+    pc.stop();
     sim_seconds += sim_span_seconds(cfg);
     events += sim.scheduler().executed();
     benchmark::DoNotOptimize(f.goodput_mbps());
@@ -82,6 +137,7 @@ void BM_TcpPair(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
   state.counters["events_executed"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kAvgIterations);
+  report_perf(state, pc, events);
 }
 
 // Hotspot scale: one saturated AP pushing UDP downlink to N stations, all
@@ -97,11 +153,13 @@ void BM_Hotspot(benchmark::State& state) {
   double total = 0.0;
   double sim_seconds = 0.0;
   std::uint64_t events = 0;
+  PerfCounters pc;
   for (auto _ : state) {
     SimConfig cfg;
     cfg.measure = seconds(1);
     cfg.warmup = milliseconds(100);
     cfg.seed = seed++;
+    cfg.scheduler_backend = bench_backend();
     Sim sim(cfg);
     const SharedApLayout l = shared_ap(n_stations);
     Node& ap = sim.add_node(l.ap);
@@ -111,7 +169,9 @@ void BM_Hotspot(benchmark::State& state) {
       Node& sta = sim.add_node(l.clients[static_cast<std::size_t>(i)]);
       flows.push_back(sim.add_udp_flow(ap, sta, 24.0 / n_stations));
     }
+    pc.start();
     sim.run();
+    pc.stop();
     sim_seconds += sim_span_seconds(cfg);
     events += sim.scheduler().executed();
     for (const auto& f : flows) total += f.goodput_mbps();
@@ -123,15 +183,20 @@ void BM_Hotspot(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
   state.counters["events_executed"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kAvgIterations);
+  report_perf(state, pc, events);
 }
 
 // Pure scheduler microbench, no PHY/MAC: the dominant MAC pattern of
 // schedule / cancel / reschedule plus a fired ladder. Measures raw
 // events/sec through the slab + heap with zero steady-state allocation.
 void BM_SchedulerChurn(benchmark::State& state) {
-  Scheduler s;
+  Scheduler s{bench_backend()};
   std::uint64_t sink = 0;
   constexpr int kBatch = 64;
+  // Counters bracket the whole loop: iterations here are µs-scale, so
+  // per-iteration ioctl start/stop would dominate the timing.
+  PerfCounters pc;
+  pc.start();
   for (auto _ : state) {
     EventId cancelled[kBatch / 4];
     int nc = 0;
@@ -143,16 +208,18 @@ void BM_SchedulerChurn(benchmark::State& state) {
     s.run();
     benchmark::DoNotOptimize(sink);
   }
+  pc.stop();
   state.counters["events_per_second"] = benchmark::Counter(
       static_cast<double>(s.executed()), benchmark::Counter::kIsRate);
   state.counters["pool_slots"] =
       benchmark::Counter(static_cast<double>(s.pool_slots()));
+  report_perf(state, pc, s.executed());
 }
 
 // Timer restart churn: the defer/backoff/NAV pattern — start, supersede,
 // fire — exercising the cancel-tombstone path and slot reuse.
 void BM_TimerRestart(benchmark::State& state) {
-  Scheduler s;
+  Scheduler s{bench_backend()};
   std::uint64_t fired = 0;
   Timer t(s, [&fired] { ++fired; });
   for (auto _ : state) {
@@ -175,4 +242,19 @@ BENCHMARK(BM_TimerRestart)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) to stamp the run's context with
+// what actually matters for comparability: the *project* build type
+// (library_build_type only describes the system libbenchmark) and which
+// scheduler backend the binary defaults to.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("g80211_build_type", G80211_BUILD_TYPE);
+  benchmark::AddCustomContext(
+      "g80211_scheduler_backend",
+      bench_backend() == SchedulerBackend::kTimingWheel ? "timing_wheel"
+                                                        : "dary_heap");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "bench/perf_counters.h"
+
+#if defined(__linux__)
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <initializer_list>
+
+namespace g80211::bench {
+
+namespace {
+
+int open_counter(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, any CPU. Counters are opened standalone
+  // rather than as one group: a grouped open fails atomically when the PMU
+  // is missing, which would also take down the software task clock.
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+std::uint64_t read_counter(int fd) {
+  std::uint64_t value = 0;
+  if (fd >= 0 && ::read(fd, &value, sizeof(value)) != sizeof(value)) {
+    value = 0;
+  }
+  return value;
+}
+
+void for_fd(int fd, unsigned long request) {
+  if (fd >= 0) ::ioctl(fd, request, 0);
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  cycles_.fd = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  instructions_.fd =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  branches_.fd =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS);
+  branch_misses_.fd =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES);
+  // Nanoseconds of on-CPU time, maintained by the kernel scheduler — no
+  // PMU required, so this one survives VMs that refuse the four above.
+  task_clock_.fd = open_counter(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK);
+}
+
+PerfCounters::~PerfCounters() {
+  for (Counter* c :
+       {&cycles_, &instructions_, &branches_, &branch_misses_, &task_clock_}) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+}
+
+void PerfCounters::start() {
+  for (Counter* c :
+       {&cycles_, &instructions_, &branches_, &branch_misses_, &task_clock_}) {
+    for_fd(c->fd, PERF_EVENT_IOC_RESET);
+    for_fd(c->fd, PERF_EVENT_IOC_ENABLE);
+  }
+}
+
+void PerfCounters::stop() {
+  for (Counter* c :
+       {&cycles_, &instructions_, &branches_, &branch_misses_, &task_clock_}) {
+    for_fd(c->fd, PERF_EVENT_IOC_DISABLE);
+  }
+  read_into_totals();
+}
+
+void PerfCounters::read_into_totals() {
+  for (Counter* c :
+       {&cycles_, &instructions_, &branches_, &branch_misses_, &task_clock_}) {
+    c->total += read_counter(c->fd);
+  }
+}
+
+bool PerfCounters::hw_available() const {
+  return cycles_.fd >= 0 && instructions_.fd >= 0 && branches_.fd >= 0 &&
+         branch_misses_.fd >= 0;
+}
+
+bool PerfCounters::task_clock_available() const { return task_clock_.fd >= 0; }
+
+}  // namespace g80211::bench
+
+#else  // !__linux__
+
+namespace g80211::bench {
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() {}
+void PerfCounters::stop() {}
+void PerfCounters::read_into_totals() {}
+bool PerfCounters::hw_available() const { return false; }
+bool PerfCounters::task_clock_available() const { return false; }
+
+}  // namespace g80211::bench
+
+#endif

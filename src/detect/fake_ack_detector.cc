@@ -28,7 +28,7 @@ void FakeAckDetector::stop() {
 
 void FakeAckDetector::emit_probe() {
   if (!running_) return;
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->flow_id = flow_id_;
   p->uid = next_uid_++;
   p->seq = sent_;

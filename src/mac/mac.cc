@@ -173,9 +173,26 @@ Time Mac::current_data_duration() const {
 }
 
 void Mac::reevaluate() {
+  // Nothing to serve: every branch below is a no-op (the busy branch's
+  // cancel/pause act on timers that only run while current_ is set — see
+  // on_channel_busy — and the idle branch starts contention only for a
+  // queued frame). Returning before medium_busy() skips a NAV probe per
+  // idle edge on every bystander of a hotspot exchange.
+  if (current_ == nullptr) return;
   if (medium_busy() || on_air_ != TxKind::kNone) {
     defer_timer_.cancel();
     pause_backoff();
+    // A station that acquired work after its NAV was set skipped the
+    // expiry wakeup at update time (sinks don't arm it — see on_rx_end).
+    // Arm it now so contention resumes at exactly the expiry the eager
+    // arm would have used. Carrier-busy periods need no wakeup: the idle
+    // edge re-enters reevaluate() and arms it then if the NAV still runs.
+    // Active stations keep their timer restarted at every NAV extension,
+    // so a pending wakeup is never earlier than the work requires.
+    if (current_ != nullptr && !phy_->carrier_busy() &&
+        nav_.busy(sched_->now()) && !nav_timer_.pending()) {
+      nav_timer_.start_at(nav_.expiry());
+    }
     return;
   }
   if (!current_ || tx_state_ != TxState::kIdle || pending_response_.has_value() ||
@@ -443,7 +460,12 @@ void Mac::on_rx_end(const Frame& frame, const RxInfo& info) {
         schedule_response(ack, TxKind::kSpoofAck);
       }
     }
-    reevaluate();
+  // No reevaluate() here: on_rx_end runs inside Phy::incoming_end, after
+  // the frame left the air and before the PHY's edge notification. If the
+  // medium is now idle, the idle edge that immediately follows re-enters
+  // reevaluate() with no scheduler activity in between (any defer it
+  // starts gets the very seq a call here would have produced); if it is
+  // still busy, the busy branch's work was already done on the busy edge.
     return;
   }
 
@@ -455,7 +477,16 @@ void Mac::on_rx_end(const Frame& frame, const RxInfo& info) {
     const Time dur = nav_filter ? nav_filter(frame, info) : frame.duration;
     if (nav_.update(sched_->now(), dur)) {
       ++stats_.nav_updates;
-      nav_timer_.start_at(nav_.expiry());
+      // The expiry wakeup exists so a station with a frame to contend for
+      // re-enters reevaluate() the instant virtual carrier sense releases.
+      // A pure sink (nothing queued — the common case for every bystander
+      // of a hotspot exchange) would wake up only to return immediately,
+      // so skip the timer churn entirely; if it acquires work while the
+      // NAV runs, reevaluate()'s busy branch arms the same wakeup at the
+      // same expiry (see below), keeping the defer timing bit-identical.
+      if (current_ != nullptr) {
+        nav_timer_.start_at(nav_.expiry());
+      }
       if (nav_rts_reset_ && frame.type == FrameType::kRts) {
         nav_reset_timer_.start(2 * params_.sifs + params_.cts_tx_time() +
                                2 * params_.slot);
@@ -481,7 +512,12 @@ void Mac::on_rx_end(const Frame& frame, const RxInfo& info) {
       handle_rx_ack(frame, info);
       break;
   }
-  reevaluate();
+  // No reevaluate() here: on_rx_end runs inside Phy::incoming_end, after
+  // the frame left the air and before the PHY's edge notification. If the
+  // medium is now idle, the idle edge that immediately follows re-enters
+  // reevaluate() with no scheduler activity in between (any defer it
+  // starts gets the very seq a call here would have produced); if it is
+  // still busy, the busy branch's work was already done on the busy edge.
 }
 
 void Mac::handle_rx_rts(const Frame& frame) {
@@ -597,6 +633,13 @@ void Mac::handle_rx_ack(const Frame& frame, const RxInfo& info) {
 
 void Mac::on_channel_busy() {
   if (channel_observer) channel_observer(true);
+  // Invariant: the defer timer and backoff only ever run on behalf of a
+  // frame being served (both start sites are guarded by current_, and
+  // current_ is never cleared while either is pending — contention stops
+  // before tx_state_ leaves kIdle). A station with nothing to send
+  // therefore has nothing to cancel or pause; skip the dead-handle checks
+  // that would otherwise run per busy edge on every bystander.
+  if (current_ == nullptr) return;
   defer_timer_.cancel();
   pause_backoff();
 }

@@ -24,7 +24,7 @@ void Node::on_packet(const PacketPtr& packet, const RxInfo& /*info*/) {
   }
   if (packet->is_probe && !packet->probe_reply) {
     // Application-layer echo: only reachable for uncorrupted deliveries.
-    auto reply = std::make_shared<Packet>(*packet);
+    auto reply = make_packet(*packet);
     reply->uid = next_uid_++;
     reply->probe_reply = true;
     reply->src_node = id_;

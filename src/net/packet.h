@@ -4,11 +4,27 @@
 // (the simulator's transports add 40 bytes, as in ns-2), but NOT the MAC
 // overhead — the MAC/PHY account for that when computing airtime and frame
 // error length.
+//
+// Allocation: packets are arena-allocated. PacketPtr is an intrusive
+// refcounted handle into a chunked slab (PacketArena, in the spirit of the
+// scheduler's EventPool): creating a packet in steady state pops a free
+// slot instead of touching the heap, and every handle copy is a plain
+// non-atomic counter bump instead of std::shared_ptr's atomic RMW. The
+// refcount may be non-atomic because packets are confined to the thread
+// that created them — one Sim runs on exactly one thread, which is the
+// campaign runner's job model; the TSan preset guards the contract.
+//
+// Create packets with make_packet() (or make_packet(proto) to clone a
+// payload); direct `new Packet` / make_shared<Packet> is banned in src/ by
+// g80211_lint's packet-arena rule so the steady state stays allocation-free.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "src/sim/check.h"
 #include "src/sim/time.h"
 
 namespace g80211 {
@@ -18,6 +34,8 @@ struct TcpHeader {
   std::int64_t ack = 0;  // cumulative ack (ack segments)
   bool is_ack = false;
 };
+
+class PacketArena;
 
 struct Packet {
   int flow_id = 0;
@@ -30,8 +48,167 @@ struct Packet {
   TcpHeader tcp;           // valid when the owning flow is TCP
   bool is_probe = false;   // ping probe used by the fake-ACK detector
   bool probe_reply = false;
+
+  Packet() = default;
+  // Copies transfer the payload fields only: the refcount and owning
+  // arena always describe *this* slot, never the source's. (Add new
+  // payload fields to both members below.)
+  Packet(const Packet& o)
+      : flow_id(o.flow_id), uid(o.uid), seq(o.seq), size_bytes(o.size_bytes),
+        src_node(o.src_node), dst_node(o.dst_node), created(o.created),
+        tcp(o.tcp), is_probe(o.is_probe), probe_reply(o.probe_reply) {}
+  Packet& operator=(const Packet& o) {
+    flow_id = o.flow_id;
+    uid = o.uid;
+    seq = o.seq;
+    size_bytes = o.size_bytes;
+    src_node = o.src_node;
+    dst_node = o.dst_node;
+    created = o.created;
+    tcp = o.tcp;
+    is_probe = o.is_probe;
+    probe_reply = o.probe_reply;
+    return *this;
+  }
+
+ private:
+  friend class PacketArena;
+  friend class PacketPtr;
+  std::uint32_t refs_ = 0;        // intrusive count, managed by PacketPtr
+  PacketArena* arena_ = nullptr;  // owning slab (set once at first alloc)
 };
 
-using PacketPtr = std::shared_ptr<Packet>;
+// Chunked slab + LIFO free list of Packet slots. Chunks never move once
+// created (growth appends a chunk), so a live Packet's address is stable
+// for the lifetime of the arena. One arena per thread (see packet_arena());
+// packets release back to the arena that allocated them.
+class PacketArena {
+ public:
+  // Pop a slot (reusing a free one if available) with all payload fields
+  // reset to their defaults and the refcount at 1. The caller adopts the
+  // reference; pair with PacketPtr's adopt constructor via make_packet().
+  Packet* alloc() {
+    Packet* p;
+    if (free_.empty()) {
+      if (size_ == chunks_.size() * kChunkSize) {
+        chunks_.push_back(std::make_unique<Packet[]>(kChunkSize));
+      }
+      p = &chunks_[size_ >> kChunkShift][size_ & (kChunkSize - 1)];
+      ++size_;
+    } else {
+      p = free_.back();
+      free_.pop_back();
+      *p = Packet();  // payload-only assign: refs_/arena_ untouched
+    }
+    G80211_DCHECK(p->refs_ == 0 && "allocating a live packet slot");
+    p->refs_ = 1;
+    p->arena_ = this;
+    ++total_allocs_;
+    return p;
+  }
+
+  // Return a slot whose refcount has dropped to zero.
+  void release(Packet* p) {
+    G80211_DCHECK(p->refs_ == 0 && "releasing a live packet");
+    G80211_DCHECK(p->arena_ == this && "packet released to a foreign arena");
+    free_.push_back(p);
+  }
+
+  // Slab high-water mark: the most packets that were ever live at once.
+  std::size_t slots() const { return size_; }
+  // Slots currently on the free list (slots() - free_slots() are live).
+  std::size_t free_slots() const { return free_.size(); }
+  // Packets ever allocated; with a flat slots() curve this counts reuse.
+  std::uint64_t total_allocs() const { return total_allocs_; }
+
+ private:
+  static constexpr std::size_t kChunkShift = 8;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  std::size_t size_ = 0;  // slots ever created (high-water mark)
+  std::vector<Packet*> free_;
+  std::uint64_t total_allocs_ = 0;
+};
+
+// The calling thread's packet arena. Thread-local so parallel campaign
+// workers never contend; a Sim must allocate and drop all its packets on
+// one thread (the runner's job model already guarantees this).
+inline PacketArena& packet_arena() {
+  thread_local PacketArena arena;
+  return arena;
+}
+
+// Intrusive refcounted handle to an arena slot. Same shape as the
+// std::shared_ptr<Packet> it replaced (copy shares, last owner frees) but
+// one pointer wide, with non-atomic counts and pool-backed storage.
+class PacketPtr {
+ public:
+  PacketPtr() = default;
+  PacketPtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  PacketPtr(const PacketPtr& o) : p_(o.p_) {
+    if (p_ != nullptr) ++p_->refs_;
+  }
+  PacketPtr(PacketPtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  PacketPtr& operator=(const PacketPtr& o) {
+    if (o.p_ != nullptr) ++o.p_->refs_;  // ref first: self-assignment safe
+    drop();
+    p_ = o.p_;
+    return *this;
+  }
+  PacketPtr& operator=(PacketPtr&& o) noexcept {
+    if (this != &o) {
+      drop();
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~PacketPtr() { drop(); }
+
+  Packet* get() const { return p_; }
+  Packet& operator*() const { return *p_; }
+  Packet* operator->() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+  void reset() {
+    drop();
+    p_ = nullptr;
+  }
+  // Owners of the slot (0 for an empty handle); tests use this to pin the
+  // share/release behaviour.
+  std::uint32_t use_count() const { return p_ != nullptr ? p_->refs_ : 0; }
+
+  friend bool operator==(const PacketPtr& a, const PacketPtr& b) {
+    return a.p_ == b.p_;
+  }
+  friend bool operator!=(const PacketPtr& a, const PacketPtr& b) {
+    return a.p_ != b.p_;
+  }
+
+ private:
+  friend PacketPtr make_packet();
+  friend PacketPtr make_packet(const Packet& proto);
+  struct Adopt {};
+  PacketPtr(Packet* p, Adopt) : p_(p) {}  // adopts the alloc()'s reference
+
+  void drop() {
+    if (p_ != nullptr && --p_->refs_ == 0) p_->arena_->release(p_);
+  }
+
+  Packet* p_ = nullptr;
+};
+
+// Fresh default-initialised packet from the calling thread's arena.
+inline PacketPtr make_packet() {
+  return PacketPtr(packet_arena().alloc(), PacketPtr::Adopt{});
+}
+
+// Clone: a fresh packet carrying `proto`'s payload fields (refcount and
+// arena slot are its own) — the reply/forwarding pattern.
+inline PacketPtr make_packet(const Packet& proto) {
+  PacketPtr p(packet_arena().alloc(), PacketPtr::Adopt{});
+  *p = proto;
+  return p;
+}
 
 }  // namespace g80211

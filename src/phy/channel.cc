@@ -11,11 +11,11 @@ void Channel::attach(Phy* phy) {
   invalidate_topology();  // every sender's sensed set may now include `phy`
 }
 
-const std::vector<LinkState>& Channel::neighbors_of(Phy* sender) {
+const NeighborSoA& Channel::neighbors_of(Phy* sender) {
   NeighborTable& t = tables_[sender->channel_index_];
   const std::uint64_t prop_gen = propagation_.generation();
   if (t.topo_gen != topology_gen_ || t.prop_gen != prop_gen) {
-    t.neighbors.clear();
+    t.soa.clear();
     // Same walk, same skip rules, same double math as the pre-cache
     // per-frame scan — entries land in attach order, so the fan-out (and
     // with it every event ordering and RNG draw) is bit-identical.
@@ -24,13 +24,13 @@ const std::vector<LinkState>& Channel::neighbors_of(Phy* sender) {
       const double d = distance(sender->position(), rx->position());
       if (!sensed_at(d)) continue;
       const double p = propagation_.rx_power_w(d);
-      t.neighbors.push_back(LinkState{rx, p, watts_to_dbm(p), decodable_at(d)});
+      t.soa.add(rx, p, watts_to_dbm(p), decodable_at(d));
     }
     t.topo_gen = topology_gen_;
     t.prop_gen = prop_gen;
     ++tables_rebuilt_;
   }
-  return t.neighbors;
+  return t.soa;
 }
 
 TxRecord* Channel::acquire_record() {
@@ -49,21 +49,71 @@ void Channel::release_record(TxRecord* rec) {
   free_records_.push_back(rec);
 }
 
+// Reference fan-out: the pre-cache per-frame walk, all radio math redone
+// from positions for every frame. Kept for the SoA/scalar bit-identity
+// test; not the hot path.
+void Channel::transmit_scalar(TxRecord* rec, Phy* sender) {
+  const Time now = sched_->now();
+  for (Phy* rx : phys_) {
+    if (rx == sender) continue;
+    const double d = distance(sender->position(), rx->position());
+    if (!sensed_at(d)) continue;
+    const double p = propagation_.rx_power_w(d);
+    rec->sensed.push_back(rx);
+    rx->incoming_start(*rec, p, watts_to_dbm(p), decodable_at(d), now);
+  }
+}
+
 void Channel::transmit(Phy* sender, const Frame& frame, Time airtime) {
-  const Time end = sched_->now() + airtime;
+  const Time now = sched_->now();
+  const Time end = now + airtime;
   // tx_id advances even for transmissions nobody senses (as it always
   // has), so id sequences are independent of topology.
   const std::uint64_t tx_id = next_tx_id_++;
-  const std::vector<LinkState>& neighbors = neighbors_of(sender);
-  if (neighbors.empty()) return;
+
+  if (use_scalar_fanout) {
+    TxRecord* rec = acquire_record();
+    rec->frame = frame;
+    rec->frame.true_tx = sender->id();
+    rec->end = end;
+    rec->tx_id = tx_id;
+    rec->sender = sender;
+    transmit_scalar(rec, sender);
+    if (rec->sensed.empty()) {
+      release_record(rec);
+      sched_->at(end, [sender] { sender->tx_done(); });
+      return;
+    }
+    sched_->at(end, [this, rec] { finish(rec); });
+    return;
+  }
+
+  const NeighborSoA& t = neighbors_of(sender);
+  if (t.empty()) {
+    // Nobody in range: no record, but the sender still needs its tx-done
+    // edge at the end of the airtime.
+    sched_->at(end, [sender] { sender->tx_done(); });
+    return;
+  }
   TxRecord* rec = acquire_record();
   rec->frame = frame;
+  rec->frame.true_tx = sender->id();
   rec->end = end;
   rec->tx_id = tx_id;
-  for (const LinkState& link : neighbors) {
-    rec->sensed.push_back(link.rx);
-    link.rx->incoming_start(*rec, link.rx_power_w, link.rx_power_dbm,
-                            link.decodable);
+  rec->sender = sender;
+  // One sweep over the sender's SoA arrays: the receiver set lands in
+  // rec->sensed in a single bulk copy, then each receiver's interference
+  // sum and rx-start state are posted from the index-aligned arrays. The
+  // per-receiver body (Phy::incoming_start) is header-inline, so this loop
+  // compiles to one tight pass with no out-of-line call per receiver.
+  const std::size_t n = t.rx.size();
+  Phy* const* rxs = t.rx.data();
+  const double* pw = t.power_w.data();
+  const double* pdbm = t.power_dbm.data();
+  const std::uint8_t* dec = t.decodable.data();
+  rec->sensed.assign(rxs, rxs + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rxs[i]->incoming_start(*rec, pw[i], pdbm[i], dec[i] != 0, now);
   }
   sched_->at(end, [this, rec] { finish(rec); });
 }
@@ -72,6 +122,11 @@ void Channel::finish(TxRecord* rec) {
   // Attach order is insertion order of the old per-receiver end-events, so
   // receivers observe the end of the frame in exactly the same sequence.
   for (Phy* rx : rec->sensed) rx->incoming_end(rec->tx_id);
+  // The sender's tx-done used to be its own event scheduled immediately
+  // after this one (same timestamp, next sequence number): nothing could
+  // ever run between them, so folding it in here drops one scheduler
+  // event per frame without reordering anything observable.
+  rec->sender->tx_done();
   release_record(rec);
 }
 

@@ -12,6 +12,7 @@
 // range while receivers hear both creates hidden terminals (Fig 18).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -37,20 +38,38 @@ struct TxRecord {
   Frame frame;
   Time end = 0;
   std::uint64_t tx_id = 0;
+  Phy* sender = nullptr;  // keyed radio; told tx-done when the frame ends
   std::vector<Phy*> sensed;  // receivers, in channel attach order
 };
 
-// One precomputed receiver entry in a sender's link table: who senses the
-// sender's frames, at what received power, and whether they can decode
-// them. Strangers outside carrier-sense range never appear, so the
-// transmit fan-out pays zero distance/propagation math per frame. The dBm
-// conversion (a log10 formerly paid per delivered frame in the RSSI path)
-// is precomputed here too and threaded through reception.
-struct LinkState {
-  Phy* rx = nullptr;
-  double rx_power_w = 0.0;
-  double rx_power_dbm = 0.0;  // watts_to_dbm(rx_power_w), cached
-  bool decodable = false;
+// A sender's link table in structure-of-arrays form: index-aligned
+// contiguous arrays over every receiver within sensing range, in channel
+// attach order (the fan-out order contract). Strangers outside
+// carrier-sense range never appear, so the transmit fan-out pays zero
+// distance/propagation math per frame — it is one sweep over these arrays
+// posting interference deltas and rx-start state into each receiver. The
+// dBm conversion (a log10 formerly paid per delivered frame in the RSSI
+// path) is precomputed here too and threaded through reception.
+struct NeighborSoA {
+  std::vector<Phy*> rx;
+  std::vector<double> power_w;
+  std::vector<double> power_dbm;     // watts_to_dbm(power_w), cached
+  std::vector<std::uint8_t> decodable;
+
+  std::size_t size() const { return rx.size(); }
+  bool empty() const { return rx.empty(); }
+  void clear() {
+    rx.clear();
+    power_w.clear();
+    power_dbm.clear();
+    decodable.clear();
+  }
+  void add(Phy* receiver, double p_w, double p_dbm, bool dec) {
+    rx.push_back(receiver);
+    power_w.push_back(p_w);
+    power_dbm.push_back(p_dbm);
+    decodable.push_back(dec ? 1 : 0);
+  }
 };
 
 class Channel {
@@ -76,17 +95,22 @@ class Channel {
   // (ablation: every overlap is a collision).
   double capture_threshold = 10.0;
 
+  // Reference mode for tests: route transmit() through the pre-cache
+  // scalar walk (distance + propagation math per receiver per frame, no
+  // link tables). Bit-identical to the SoA sweep by construction; the
+  // mixed-topology identity test in tests/test_phy_channel.cc pins it.
+  bool use_scalar_fanout = false;
+
   void attach(Phy* phy);
   const std::vector<Phy*>& phys() const { return phys_; }
 
   // Broadcast `frame` from `sender` for `airtime`.
   void transmit(Phy* sender, const Frame& frame, Time airtime);
 
-  // Sender's link table: every receiver within sensing range, in channel
-  // attach order (the fan-out order contract), with precomputed rx power
-  // and decodability. Rebuilt lazily when the topology generation moved
-  // (attach, set_position, set_ranges) or propagation parameters changed.
-  const std::vector<LinkState>& neighbors_of(Phy* sender);
+  // Sender's link table (see NeighborSoA). Rebuilt lazily when the
+  // topology generation moved (attach, set_position, set_ranges) or
+  // propagation parameters changed.
+  const NeighborSoA& neighbors_of(Phy* sender);
 
   // Marks every link table stale. Cheap (one counter bump): callers may
   // invoke it per mobility tick; tables rebuild lazily on the next
@@ -107,6 +131,7 @@ class Channel {
   TxRecord* acquire_record();
   void release_record(TxRecord* rec);
   void finish(TxRecord* rec);
+  void transmit_scalar(TxRecord* rec, Phy* sender);
 
   Scheduler* sched_;
   WifiParams params_;
@@ -122,7 +147,7 @@ class Channel {
   struct NeighborTable {
     std::uint64_t topo_gen = 0;
     std::uint64_t prop_gen = 0;
-    std::vector<LinkState> neighbors;
+    NeighborSoA soa;
   };
   std::vector<NeighborTable> tables_;
   std::uint64_t topology_gen_ = 1;

@@ -64,10 +64,12 @@ void ErrorModel::invalidate_memos() {
 
 void ErrorModel::set_default_ber(double ber) {
   default_ber_ = ber;
+  if (ber != 0.0) trivial_ = false;
   invalidate_memos();
 }
 
 void ErrorModel::set_link_ber(int tx, int rx, double ber) {
+  if (ber != 0.0) trivial_ = false;
   ensure_dense(tx);
   ensure_dense(rx);
   if (in_dense(tx) && in_dense(rx)) {
@@ -90,6 +92,7 @@ void ErrorModel::set_link_rate_limit(int tx, int rx, double max_good_rate_mbps,
     has_overflow_ = true;
   }
   has_rate_limit_ = true;
+  trivial_ = false;
   invalidate_memos();
 }
 
@@ -112,8 +115,9 @@ double ErrorModel::cached_fer(int tx, int rx, int len) const {
   return f;
 }
 
-double ErrorModel::frame_error_prob(int tx, int rx, FrameType type,
-                                    int packet_bytes, double rate_mbps) const {
+double ErrorModel::frame_error_prob_slow(int tx, int rx, FrameType type,
+                                         int packet_bytes,
+                                         double rate_mbps) const {
   const double base = cached_fer(tx, rx, error_len(type, packet_bytes));
   if (type != FrameType::kData) return base;
   const double excess = rate_excess_fer(tx, rx, rate_mbps);

@@ -1,8 +1,5 @@
 #include "src/phy/phy.h"
 
-#include "src/sim/check.h"
-
-
 namespace g80211 {
 
 // `rss_dbm` is the precomputed watts_to_dbm of the true received power;
@@ -16,13 +13,6 @@ double Phy::measured_rssi(double rss_dbm) {
   return rss_dbm + noise;
 }
 
-void Phy::notify_edges(bool was_busy) {
-  const bool busy = carrier_busy();
-  if (!listener_) return;
-  if (!was_busy && busy) listener_->on_channel_busy();
-  if (was_busy && !busy) listener_->on_channel_idle();
-}
-
 void Phy::transmit(const Frame& frame, Time airtime) {
   G80211_DCHECK(!transmitting_ && "half-duplex PHY already transmitting");
   const bool was_busy = carrier_busy();
@@ -30,10 +20,13 @@ void Phy::transmit(const Frame& frame, Time airtime) {
   current_rx_ = 0;
   current_collided_ = false;
   transmitting_ = true;
-  Frame f = frame;
-  f.true_tx = id_;
-  channel_->transmit(this, f, airtime);
-  channel_->scheduler().after(airtime, [this] { tx_done(); });
+  // No local Frame copy: the channel copies the frame into its TxRecord
+  // anyway and stamps true_tx there, so copying here (plus the packet
+  // refcount round-trip it implies) would be pure overhead.
+  // The channel delivers tx_done() at the end of the airtime — folded into
+  // its frame-end event (or a dedicated one when nobody is in range), so a
+  // transmission costs one scheduler event, not two.
+  channel_->transmit(this, frame, airtime);
   notify_edges(was_busy);
 }
 
@@ -44,98 +37,38 @@ void Phy::tx_done() {
   notify_edges(/*was_busy=*/true);
 }
 
-const Phy::Ongoing* Phy::find_ongoing(std::uint64_t tx_id) const {
-  for (const Ongoing& o : ongoing_) {
-    if (o.tx_id == tx_id) return &o;
-  }
-  return nullptr;
-}
+void Phy::finish_reception(const Ongoing& o, bool collided) {
+  const Frame& frame = *o.frame;
+  const ErrorModel& em = channel_->error_model();
+  // A fragment is only exposed for its own airtime, not the full MSDU's.
+  const int pkt_bytes = frame.air_bytes();
+  const bool bit_errors = rng_.chance(em.frame_error_prob(
+      frame.true_tx, id_, frame.type, pkt_bytes, frame.rate_mbps));
 
-void Phy::incoming_start(const TxRecord& rec, double rss_w, double rss_dbm,
-                         bool decodable) {
-  const bool was_busy = carrier_busy();
-  const Time now = channel_->scheduler().now();
-
-  if (!transmitting_) {
-    const double cap = channel_->capture_threshold;
-    if (current_rx_ == 0) {
-      if (decodable) {
-        // Interference from transmissions already in the air: the running
-        // sum over ongoing_, maintained instead of rescanned.
-        const double interference = ongoing_power_w_;
-        current_rx_ = rec.tx_id;
-        current_collided_ =
-            interference > 0.0 && (cap <= 0.0 || rss_w < cap * interference);
-      }
-    } else {
-      const Ongoing* cur = find_ongoing(current_rx_);
-      G80211_DCHECK(cur != nullptr);
-      if (cap > 0.0 && cur->rss_w >= cap * rss_w) {
-        // Current frame powers through; newcomer is just interference.
-      } else if (cap > 0.0 && decodable && rss_w >= cap * cur->rss_w) {
-        // Newcomer captures the receiver; the old frame is lost.
-        current_rx_ = rec.tx_id;
-        current_collided_ = false;
-      } else {
-        current_collided_ = true;
-      }
-    }
-  }
-  ongoing_.push_back(
-      Ongoing{rec.tx_id, &rec.frame, rss_w, rss_dbm, now, rec.end, decodable});
-  ongoing_power_w_ += rss_w;
-  notify_edges(was_busy);
-}
-
-void Phy::incoming_end(std::uint64_t tx_id) {
-  std::size_t i = 0;
-  while (i < ongoing_.size() && ongoing_[i].tx_id != tx_id) ++i;
-  G80211_DCHECK(i < ongoing_.size());
-  const Ongoing o = ongoing_[i];
-  // Stable erase keeps ongoing_ in ascending-tx_id order.
-  ongoing_.erase(ongoing_.begin() + static_cast<std::ptrdiff_t>(i));
-  ongoing_power_w_ -= o.rss_w;
-  // Exact reset: an empty channel must read exactly zero interference, not
-  // an accumulated floating-point residue.
-  if (ongoing_.empty()) ongoing_power_w_ = 0.0;
-
-  if (tx_id == current_rx_ && !transmitting_) {
-    const bool collided = current_collided_;
-    current_rx_ = 0;
-    current_collided_ = false;
-
-    const Frame& frame = *o.frame;
-    const ErrorModel& em = channel_->error_model();
+  RxInfo info;
+  info.rss_w = o.rss_w;
+  info.rssi_dbm = measured_rssi(o.rss_dbm);
+  info.start = o.start;
+  info.end = o.end;
+  info.collided = collided;
+  info.corrupted = collided || bit_errors;
+  if (!info.corrupted) {
+    info.addresses_intact = true;
+  } else {
+    // ber/len are only needed on this (rare) corrupted path; both are pure
+    // lookups, so deferring them here changes no RNG draw.
     const double ber = em.ber(frame.true_tx, id_);
-    // A fragment is only exposed for its own airtime, not the full MSDU's.
-    const int pkt_bytes = frame.air_bytes();
-    const int len = ErrorModel::error_len(frame.type, pkt_bytes);
-    const bool bit_errors = rng_.chance(em.frame_error_prob(
-        frame.true_tx, id_, frame.type, pkt_bytes, frame.rate_mbps));
-
-    RxInfo info;
-    info.rss_w = o.rss_w;
-    info.rssi_dbm = measured_rssi(o.rss_dbm);
-    info.start = o.start;
-    info.end = o.end;
-    info.collided = collided;
-    info.corrupted = collided || bit_errors;
-    if (!info.corrupted) {
-      info.addresses_intact = true;
-    } else if (collided || ber <= 0.0) {
+    if (collided || ber <= 0.0) {
       // Collision- or rate-cliff-induced corruption: header survival is
       // governed by the overlap/fade geometry, not per-bit independence.
       info.addresses_intact = rng_.chance(em.collision_addr_intact_prob);
     } else {
+      const int len = ErrorModel::error_len(frame.type, pkt_bytes);
       info.addresses_intact =
           rng_.chance(ErrorModel::addr_intact_given_corrupt(ber, len));
     }
-    if (listener_) listener_->on_rx_end(frame, info);
-  } else if (tx_id == current_rx_) {
-    current_rx_ = 0;
-    current_collided_ = false;
   }
-  notify_edges(/*was_busy=*/true);
+  if (listener_) listener_->on_rx_end(frame, info);
 }
 
 }  // namespace g80211

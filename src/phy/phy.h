@@ -11,6 +11,11 @@
 // power + Gaussian measurement noise + a rare heavy-tail outlier, matching
 // the paper's testbed observation that ~95% of samples fall within 1 dB of
 // the link median (Fig 21). Detection code sees only this measured value.
+//
+// Hot-path layout: incoming_start/incoming_end are header-inline so the
+// channel's SoA fan-out sweep compiles into one tight loop per frame; only
+// the per-delivery tail (error model, RSSI draw, listener dispatch) stays
+// out of line in finish_reception().
 #pragma once
 
 #include <cstddef>
@@ -20,6 +25,7 @@
 #include "src/mac/frame.h"
 #include "src/phy/channel.h"
 #include "src/phy/propagation.h"
+#include "src/sim/check.h"
 #include "src/sim/rng.h"
 #include "src/sim/scheduler.h"
 
@@ -84,14 +90,74 @@ class Phy {
   // incoming_end(rec.tx_id) returns (the channel releases the record after
   // fanning the end out to every sensed PHY). `rss_dbm` must equal
   // watts_to_dbm(rss_w); the channel's link table precomputes it so the
-  // RSSI path pays no log10 per frame.
+  // RSSI path pays no log10 per frame. Inline: this is the body of the
+  // channel's per-frame fan-out sweep.
+  // `now` is the scheduler clock, hoisted out of the channel's fan-out
+  // loop so the sweep pays the load once per frame, not per receiver.
   void incoming_start(const TxRecord& rec, double rss_w, double rss_dbm,
-                      bool decodable);
-  void incoming_end(std::uint64_t tx_id);
+                      bool decodable, Time now) {
+    const bool was_busy = carrier_busy();
+
+    if (!transmitting_) {
+      const double cap = channel_->capture_threshold;
+      if (current_rx_ == 0) {
+        if (decodable) {
+          // Interference from transmissions already in the air: the running
+          // sum over ongoing_, maintained instead of rescanned.
+          const double interference = ongoing_power_w_;
+          current_rx_ = rec.tx_id;
+          current_collided_ =
+              interference > 0.0 && (cap <= 0.0 || rss_w < cap * interference);
+        }
+      } else {
+        const Ongoing* cur = find_ongoing(current_rx_);
+        G80211_DCHECK(cur != nullptr);
+        if (cap > 0.0 && cur->rss_w >= cap * rss_w) {
+          // Current frame powers through; newcomer is just interference.
+        } else if (cap > 0.0 && decodable && rss_w >= cap * cur->rss_w) {
+          // Newcomer captures the receiver; the old frame is lost.
+          current_rx_ = rec.tx_id;
+          current_collided_ = false;
+        } else {
+          current_collided_ = true;
+        }
+      }
+    }
+    ongoing_.push_back(
+        Ongoing{rec.tx_id, &rec.frame, rss_w, rss_dbm, now, rec.end, decodable});
+    ongoing_power_w_ += rss_w;
+    notify_edges(was_busy);
+  }
+
+  void incoming_end(std::uint64_t tx_id) {
+    std::size_t i = 0;
+    while (i < ongoing_.size() && ongoing_[i].tx_id != tx_id) ++i;
+    G80211_DCHECK(i < ongoing_.size());
+    const Ongoing o = ongoing_[i];
+    // Stable erase keeps ongoing_ in ascending-tx_id order.
+    ongoing_.erase(ongoing_.begin() + static_cast<std::ptrdiff_t>(i));
+    ongoing_power_w_ -= o.rss_w;
+    // Exact reset: an empty channel must read exactly zero interference,
+    // not an accumulated floating-point residue.
+    if (ongoing_.empty()) ongoing_power_w_ = 0.0;
+
+    if (tx_id == current_rx_) {
+      const bool collided = current_collided_;
+      current_rx_ = 0;
+      current_collided_ = false;
+      if (!transmitting_) finish_reception(o, collided);
+    }
+    notify_edges(/*was_busy=*/true);
+  }
 
  private:
   void tx_done();
-  void notify_edges(bool was_busy);
+  void notify_edges(bool was_busy) {
+    const bool busy = carrier_busy();
+    if (!listener_) return;
+    if (!was_busy && busy) listener_->on_channel_busy();
+    if (was_busy && !busy) listener_->on_channel_idle();
+  }
   double measured_rssi(double rss_dbm);
 
   struct Ongoing {
@@ -103,7 +169,16 @@ class Phy {
     Time end = 0;
     bool decodable = false;
   };
-  const Ongoing* find_ongoing(std::uint64_t tx_id) const;
+  const Ongoing* find_ongoing(std::uint64_t tx_id) const {
+    for (const Ongoing& o : ongoing_) {
+      if (o.tx_id == tx_id) return &o;
+    }
+    return nullptr;
+  }
+  // Delivery tail for the frame this PHY was demodulating: frame error
+  // model, RSSI measurement, listener dispatch. Out of line — it runs once
+  // per addressed frame, not once per (frame, receiver).
+  void finish_reception(const Ongoing& o, bool collided);
 
   Channel* channel_;
   int id_;

@@ -6,16 +6,19 @@
 
 namespace g80211 {
 
-void Scheduler::discard_cancelled_tops() {
-  while (!queue_.empty() &&
-         !pool_.live(queue_.top().index, queue_.top().gen)) {
-    queue_.pop();
+// Discard cancelled entries at the queue head and return the earliest
+// live one, or nullptr when the queue drains. The pointer stays valid
+// until the next queue operation.
+const Scheduler::Entry* Scheduler::peek_live() {
+  while (!queue_empty()) {
+    const Entry& top = queue_top();
+    if (pool_.live(top.index, top.gen)) return &top;
+    queue_pop();
   }
+  return nullptr;
 }
 
-void Scheduler::fire_top() {
-  const Entry e = queue_.top();
-  queue_.pop();
+void Scheduler::fire(const Entry& e) {
   G80211_DCHECK(e.when >= now_);
   now_ = e.when;
   --live_;
@@ -26,20 +29,24 @@ void Scheduler::fire_top() {
 }
 
 bool Scheduler::step() {
-  discard_cancelled_tops();
-  if (queue_.empty()) return false;
-  fire_top();
+  const Entry* top = peek_live();
+  if (top == nullptr) return false;
+  const Entry e = *top;
+  queue_pop();
+  fire(e);
   return true;
 }
 
 void Scheduler::run_until(Time horizon) {
-  // One tombstone scan per iteration: after discard_cancelled_tops() the
-  // top is known live, so fire it directly instead of re-scanning in
-  // step().
+  // Exactly one peek per queue entry (live or tombstone) and one pop per
+  // consumed entry: peek_live() skips tombstones as it scans, and the
+  // surviving top is copied out before the pop instead of re-fetched.
   for (;;) {
-    discard_cancelled_tops();
-    if (queue_.empty() || queue_.top().when > horizon) break;
-    fire_top();
+    const Entry* top = peek_live();
+    if (top == nullptr || top->when > horizon) break;
+    const Entry e = *top;
+    queue_pop();
+    fire(e);
   }
   if (now_ < horizon) now_ = horizon;
 }

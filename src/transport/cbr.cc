@@ -25,7 +25,7 @@ void CbrSource::stop(Time at) { stop_at_ = at; }
 
 void CbrSource::emit() {
   if (sched_->now() >= stop_at_) return;
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->flow_id = flow_id_;
   p->uid = next_uid_++;
   p->seq = generated_++;

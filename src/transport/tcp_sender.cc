@@ -67,7 +67,7 @@ void TcpSender::try_send() {
 }
 
 void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->flow_id = flow_id_;
   p->uid = next_uid_++;
   p->seq = seq;

@@ -22,7 +22,7 @@ void TcpSink::receive(const PacketPtr& packet) {
     out_of_order_.insert(seq);
   }
 
-  auto ack = std::make_shared<Packet>();
+  auto ack = make_packet();
   ack->flow_id = flow_id_;
   ack->uid = next_uid_++;
   ack->seq = next_expected_;

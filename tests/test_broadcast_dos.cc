@@ -27,7 +27,7 @@ TEST(Broadcast, DeliveredToAllWithoutAcks) {
   rx1.register_sink(7, &s1);
   rx2.register_sink(7, &s2);
 
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->flow_id = 7;
   p->size_bytes = 200;
   p->src_node = 0;
@@ -51,7 +51,7 @@ TEST(Broadcast, DurationIsZeroAndSetsNoNav) {
 
   Frame seen;
   rx.mac().sniffer = [&](const Frame& f, const RxInfo&) { seen = f; };
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->size_bytes = 200;
   p->dst_node = kBroadcast;
   tx.mac().send(p, kBroadcast);
@@ -74,7 +74,7 @@ TEST(Broadcast, IsNeverFragmented) {
   rx.mac().sniffer = [&](const Frame& f, const RxInfo&) {
     if (f.type == FrameType::kData) ++data_frames;
   };
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->size_bytes = 1064;
   p->dst_node = kBroadcast;
   tx.mac().send(p, kBroadcast);

@@ -136,7 +136,7 @@ TEST(CrossLayerDetector, CountsOnlyMacAckedRetransmissions) {
 
   // Simulate MAC acks via the tap the detector chained onto.
   auto seg = [](std::int64_t seq, int flow) {
-    auto p = std::make_shared<Packet>();
+    auto p = make_packet();
     p->flow_id = flow;
     p->tcp.seq = seq;
     return p;

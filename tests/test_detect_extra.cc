@@ -76,7 +76,7 @@ TEST_F(DetectExtraTest, ObserveOnlySpoofDetectorAcceptsEverything) {
     detector.monitor().add_sample(rx.id(), watts_to_dbm(prop.rx_power_w(2.0)));
   }
 
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->flow_id = 1;
   p->size_bytes = 1064;
   p->dst_node = rx.id();
@@ -129,7 +129,7 @@ TEST_F(DetectExtraTest, LocatorLearnsOnlyFromAddressedFrames) {
   data.type = FrameType::kData;
   data.ta = talker.id();
   data.ra = 9;
-  data.packet = std::make_shared<Packet>();
+  data.packet = make_packet();
   data.packet->size_bytes = 200;
   sched_.at(milliseconds(1), [&] {
     talker.phy().transmit(data, params_.data_tx_time(200));
@@ -154,7 +154,7 @@ TEST_F(DetectExtraTest, LocatorMarginSuppressesNearTies) {
       data.type = FrameType::kData;
       data.ta = n->id();
       data.ra = 9;
-      data.packet = std::make_shared<Packet>();
+      data.packet = make_packet();
       data.packet->size_bytes = 200;
       n->phy().transmit(data, params_.data_tx_time(200));
     });

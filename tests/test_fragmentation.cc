@@ -30,7 +30,7 @@ class FragTest : public ::testing::Test {
   }
 
   PacketPtr packet(int bytes, std::int64_t seq = 0) {
-    auto p = std::make_shared<Packet>();
+    auto p = make_packet();
     p->flow_id = 1;
     p->seq = seq;
     p->size_bytes = bytes;

@@ -41,14 +41,8 @@ std::uint64_t fnv1a_bits(const std::vector<double>& values) {
   return h;
 }
 
-TEST(GoldenFig1, MetricVectorBitIdentical) {
-  // Record a capture during the first sweep point (both seeds). The hash
-  // below must not move: attaching a capture draws no randomness and must
-  // leave the simulated run bit-identical. The files double as CI
-  // artifacts — the workflow uploads capture_test_artifacts/ when this
-  // test (or the capture suite) fails, so a red run ships its evidence.
-  std::filesystem::create_directories("capture_test_artifacts");
-
+std::vector<double> fig1_metric_vector(SchedulerBackend backend,
+                                       bool record_capture) {
   std::vector<double> metrics;
   for (const Time inflation :
        {microseconds(0), microseconds(600), milliseconds(2)}) {
@@ -59,7 +53,8 @@ TEST(GoldenFig1, MetricVectorBitIdentical) {
     spec.cfg.rts_cts = true;
     spec.cfg.warmup = milliseconds(500);
     spec.cfg.measure = seconds(2);
-    if (inflation == 0) {
+    spec.cfg.scheduler_backend = backend;
+    if (inflation == 0 && record_capture) {
       spec.capture_stem = "capture_test_artifacts/golden_fig1";
     }
     spec.customize = [inflation](Sim& sim, std::vector<Node*>&,
@@ -78,11 +73,15 @@ TEST(GoldenFig1, MetricVectorBitIdentical) {
     }
   }
 
-  // Recorded from the current engine. A mismatch means simulation output
-  // changed; if the change is intended (a modelling fix, not a perf
-  // refactor), re-record this constant and say so in the commit message.
-  constexpr std::uint64_t kGolden = 0x045ffda2b5fd0c2fULL;
+  return metrics;
+}
 
+// Recorded from the current engine. A mismatch means simulation output
+// changed; if the change is intended (a modelling fix, not a perf
+// refactor), re-record this constant and say so in the commit message.
+constexpr std::uint64_t kGolden = 0x045ffda2b5fd0c2fULL;
+
+void expect_golden(const std::vector<double>& metrics) {
   const std::uint64_t h = fnv1a_bits(metrics);
   if (h != kGolden) {
     std::printf("golden metric vector (%zu doubles):\n", metrics.size());
@@ -92,6 +91,27 @@ TEST(GoldenFig1, MetricVectorBitIdentical) {
   }
   EXPECT_EQ(h, kGolden)
       << "fig1 metric vector changed bit-for-bit; see stdout for values";
+}
+
+TEST(GoldenFig1, MetricVectorBitIdentical) {
+  // Record a capture during the first sweep point (both seeds). The hash
+  // must not move: attaching a capture draws no randomness and must leave
+  // the simulated run bit-identical. The files double as CI artifacts —
+  // the workflow uploads capture_test_artifacts/ when this test (or the
+  // capture suite) fails, so a red run ships its evidence.
+  std::filesystem::create_directories("capture_test_artifacts");
+  expect_golden(
+      fig1_metric_vector(kDefaultSchedulerBackend, /*record_capture=*/true));
+}
+
+TEST(GoldenFig1, MetricVectorBitIdenticalOnBothSchedulerBackends) {
+  // The ready-queue backend is pure mechanics: heap or wheel, the engine
+  // must dispatch the identical event sequence and therefore reproduce the
+  // identical metric bits.
+  expect_golden(fig1_metric_vector(SchedulerBackend::kDaryHeap,
+                                   /*record_capture=*/false));
+  expect_golden(fig1_metric_vector(SchedulerBackend::kTimingWheel,
+                                   /*record_capture=*/false));
 }
 
 }  // namespace

@@ -54,6 +54,7 @@ def main():
         "src/sim/steadyclock.cc": {"nondet-steadyclock"},
         "src/sim/unordered_iter.cc": {"nondet-unordered-iter"},
         "src/sim/bare_assert.cc": {"bare-assert"},
+        "src/sim/packet_heap.cc": {"packet-arena"},
         "src/sim/guarded.h": {"pragma-once"},
         "src/sim/include_order.cc": {"include-order"},
     }

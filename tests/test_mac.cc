@@ -33,7 +33,7 @@ class MacTest : public ::testing::Test {
 
   PacketPtr packet(int flow, int src, int dst, int bytes = 1064,
                    std::int64_t seq = 0) {
-    auto p = std::make_shared<Packet>();
+    auto p = make_packet();
     p->flow_id = flow;
     p->seq = seq;
     p->size_bytes = bytes;
@@ -256,7 +256,7 @@ TEST_F(MacTest, CorruptedFrameTriggersEifsDeference) {
   junk.type = FrameType::kData;
   junk.ta = 2;
   junk.ra = 3;
-  junk.packet = std::make_shared<Packet>();
+  junk.packet = make_packet();
   junk.packet->size_bytes = 1064;
   const Time junk_air = WifiParams::b11().data_tx_time(1064);
   sched_.at(0, [&] { junk_src.phy().transmit(junk, junk_air); });

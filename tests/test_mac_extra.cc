@@ -26,7 +26,7 @@ class MacExtraTest : public ::testing::Test {
     return *nodes_.back();
   }
   PacketPtr packet(int flow, int dst, int bytes = 1064, std::int64_t seq = 0) {
-    auto p = std::make_shared<Packet>();
+    auto p = make_packet();
     p->flow_id = flow;
     p->seq = seq;
     p->size_bytes = bytes;
@@ -129,7 +129,7 @@ TEST_F(MacExtraTest, EifsClearedByCorrectReception) {
     f.type = FrameType::kData;
     f.ta = ta;
     f.ra = 3;  // addressed elsewhere: pure overhearing at tx
-    f.packet = std::make_shared<Packet>();
+    f.packet = make_packet();
     f.packet->size_bytes = 200;
     from.phy().transmit(f, WifiParams::b11().data_tx_time(200));
   };

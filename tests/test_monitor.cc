@@ -10,6 +10,8 @@
 // station 3 inflating CTS NAVs by 31 ms, vantage station 0.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
@@ -40,9 +42,18 @@ std::string golden_pcap() {
   return std::string(G80211_TEST_DATA_DIR) + "/golden_capture.pcap";
 }
 
+// Scratch files go under the system temp dir (unique per process), never
+// the working directory — running the binary from a source checkout must
+// not litter the tree.
 std::string artifact(const char* name) {
-  std::filesystem::create_directories("monitor_test_artifacts");
-  return std::string("monitor_test_artifacts/") + name;
+  static const std::filesystem::path dir = [] {
+    std::filesystem::path d =
+        std::filesystem::temp_directory_path() /
+        ("g80211_monitor_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return (dir / name).string();
 }
 
 std::vector<std::uint8_t> slurp(const std::string& path) {
@@ -128,7 +139,9 @@ TEST(StreamMonitor, WindowSemantics) {
     } else {
       EXPECT_EQ(w.end, cap.end_time);
     }
-    if (i > 0) EXPECT_GE(w.start, windows[i - 1].end);
+    if (i > 0) {
+      EXPECT_GE(w.start, windows[i - 1].end);
+    }
     EXPECT_GT(w.frames, 0) << "empty windows must close silently";
     total += w.frames;
   }

@@ -65,7 +65,7 @@ TEST_F(NavResetTest, LiveExchangeIsNotReset) {
   Node& bystander = add_node({5, 5});
   bystander.mac().set_nav_rts_reset(true);
 
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->flow_id = 1;
   p->size_bytes = 1064;
   p->dst_node = rx.id();
@@ -121,7 +121,7 @@ TEST_F(NavResetTest, MitigatesDeadRtsReservationsUnderInflation) {
     std::int64_t seq = 0;
     std::function<void()> feed = [&] {
       while (tx.mac().queue_size() < 5) {
-        auto p = std::make_shared<Packet>();
+        auto p = make_packet();
         p->flow_id = 1;
         p->size_bytes = 1064;
         p->dst_node = 1;

@@ -12,7 +12,7 @@ namespace {
 TEST(DropTailQueue, FifoOrder) {
   DropTailQueue q(10);
   for (int i = 0; i < 3; ++i) {
-    auto p = std::make_shared<Packet>();
+    auto p = make_packet();
     p->seq = i;
     EXPECT_TRUE(q.push(p, i + 100));
   }
@@ -27,12 +27,12 @@ TEST(DropTailQueue, FifoOrder) {
 
 TEST(DropTailQueue, DropsAtLimit) {
   DropTailQueue q(2);
-  EXPECT_TRUE(q.push(std::make_shared<Packet>(), 0));
-  EXPECT_TRUE(q.push(std::make_shared<Packet>(), 0));
-  EXPECT_FALSE(q.push(std::make_shared<Packet>(), 0));
+  EXPECT_TRUE(q.push(make_packet(), 0));
+  EXPECT_TRUE(q.push(make_packet(), 0));
+  EXPECT_FALSE(q.push(make_packet(), 0));
   EXPECT_EQ(q.drops(), 1);
   q.pop();
-  EXPECT_TRUE(q.push(std::make_shared<Packet>(), 0)) << "space freed";
+  EXPECT_TRUE(q.push(make_packet(), 0)) << "space freed";
 }
 
 struct CollectSink : PacketSink {
@@ -61,7 +61,7 @@ TEST_F(NetTest, FlowDemuxReachesRegisteredSink) {
   b.register_sink(1, &sink1);
   b.register_sink(2, &sink2);
 
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->flow_id = 2;
   p->dst_node = b.id();
   p->src_node = a.id();
@@ -78,7 +78,7 @@ TEST_F(NetTest, RouteOverridesMacNextHop) {
   add_node({10, 0});
   a.set_route(/*dst_node=*/2, /*next_hop_mac=*/relay.id());
 
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->flow_id = 1;
   p->dst_node = 2;
   p->src_node = 0;
@@ -96,7 +96,7 @@ TEST_F(NetTest, ProbeEchoOnlyForCleanDelivery) {
   CollectSink probe_sink;
   a.register_sink(9, &probe_sink);
 
-  auto probe = std::make_shared<Packet>();
+  auto probe = make_packet();
   probe->flow_id = 9;
   probe->is_probe = true;
   probe->src_node = 0;
@@ -119,7 +119,7 @@ TEST_F(NetTest, WiredHostRoundTrip) {
   // Host -> client.
   CollectSink client_sink;
   client.register_sink(4, &client_sink);
-  auto down = std::make_shared<Packet>();
+  auto down = make_packet();
   down->flow_id = 4;
   down->src_node = 99;
   down->dst_node = client.id();
@@ -132,7 +132,7 @@ TEST_F(NetTest, WiredHostRoundTrip) {
   // Client -> host (via the AP forwarder installed by WiredHost).
   CollectSink host_sink;
   host.register_sink(4, &host_sink);
-  auto up = std::make_shared<Packet>();
+  auto up = make_packet();
   up->flow_id = 4;
   up->src_node = client.id();
   up->dst_node = 99;
@@ -147,7 +147,7 @@ TEST_F(NetTest, WiredLatencyDelaysDelivery) {
   Node& ap = add_node({0, 0});
   WiredLink link(sched_, milliseconds(25));
   Time delivered_at = -1;
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   link.transfer(p, [&](PacketPtr) { delivered_at = sched_.now(); });
   sched_.run();
   EXPECT_EQ(delivered_at, milliseconds(25));

@@ -49,7 +49,7 @@ class PhyChannelTest : public ::testing::Test {
     f.type = FrameType::kData;
     f.ta = ta;
     f.ra = ra;
-    f.packet = std::make_shared<Packet>();
+    f.packet = make_packet();
     f.packet->size_bytes = 1064;
     return f;
   }
@@ -329,9 +329,10 @@ TEST_F(PhyChannelTest, MovedNodeMatchesFreshlyBuiltChannel) {
   const auto& fresh = chan2.neighbors_of(&t2);
   ASSERT_EQ(cached.size(), fresh.size());
   for (std::size_t i = 0; i < fresh.size(); ++i) {
-    EXPECT_EQ(cached[i].rx->id(), fresh[i].rx->id());
-    EXPECT_EQ(cached[i].rx_power_w, fresh[i].rx_power_w);
-    EXPECT_EQ(cached[i].decodable, fresh[i].decodable);
+    EXPECT_EQ(cached.rx[i]->id(), fresh.rx[i]->id());
+    EXPECT_EQ(cached.power_w[i], fresh.power_w[i]);
+    EXPECT_EQ(cached.power_dbm[i], fresh.power_dbm[i]);
+    EXPECT_EQ(cached.decodable[i], fresh.decodable[i]);
   }
 
   // And the full delivery path agrees: the roamer now receives.
@@ -357,10 +358,93 @@ TEST_F(PhyChannelTest, MovedOutOfRangeNodeLeavesSensedSet) {
 TEST_F(PhyChannelTest, PropagationChangeInvalidatesCachedRxPower) {
   Phy& tx = add_phy(0, {0, 0});
   add_phy(1, {5, 0});
-  const double before = channel_.neighbors_of(&tx)[0].rx_power_w;
+  const double before = channel_.neighbors_of(&tx).power_w[0];
   channel_.propagation().set_tx_power_w(channel_.propagation().tx_power_w() * 2.0);
-  const double after = channel_.neighbors_of(&tx)[0].rx_power_w;
+  const double after = channel_.neighbors_of(&tx).power_w[0];
   EXPECT_EQ(after, 2.0 * before) << "cached rx power must track tx power";
+}
+
+// The SoA fan-out sweep must be bit-identical to the reference scalar walk
+// (per-frame distance/propagation math, no link tables): same deliveries in
+// the same order, same RSSI bits, same corruption verdicts, same carrier
+// edges. Mixed topology — in comm range, interference-band only, and out of
+// sensing range — with overlapping transmissions to exercise the capture
+// rule, and RSSI noise left on so RNG draw sequences are compared too.
+TEST(ChannelFanoutIdentity, SoaMatchesScalarOnMixedTopology) {
+  struct World {
+    Scheduler sched;
+    Channel channel{sched, WifiParams::b11()};
+    std::vector<std::unique_ptr<Phy>> phys;
+    std::vector<std::unique_ptr<RecordingListener>> listeners;
+
+    explicit World(bool scalar) {
+      channel.use_scalar_fanout = scalar;
+      channel.set_ranges(50.0, 100.0);
+      const Position pos[] = {{0, 0},  {10, 0},  {30, 0},
+                              {70, 0},  // interference band: sensed only
+                              {150, 0},  // out of sensing range entirely
+                              {40, 30}};
+      for (int id = 0; id < 6; ++id) {
+        phys.push_back(
+            std::make_unique<Phy>(channel, id, pos[id], Rng(100 + id)));
+        listeners.push_back(std::make_unique<RecordingListener>());
+        phys.back()->set_listener(listeners.back().get());
+      }
+    }
+
+    void run() {
+      auto frame = [](int ta, int ra) {
+        Frame f;
+        f.type = FrameType::kData;
+        f.ta = ta;
+        f.ra = ra;
+        f.packet = make_packet();
+        f.packet->size_bytes = 1064;
+        return f;
+      };
+      phys[0]->transmit(frame(0, 1), microseconds(400));
+      // Overlaps node 0's frame: capture/collision logic runs at every
+      // receiver that hears both.
+      sched.at(microseconds(100),
+               [&] { phys[2]->transmit(frame(2, 5), microseconds(400)); });
+      // Hidden-ish late joiner, partially overlapping node 2's frame.
+      sched.at(microseconds(450),
+               [&] { phys[5]->transmit(frame(5, 0), microseconds(300)); });
+      // Clean back-to-back frame once the air is quiet again.
+      sched.at(microseconds(900),
+               [&] { phys[1]->transmit(frame(1, 0), microseconds(200)); });
+      sched.run();
+    }
+  };
+
+  World soa(/*scalar=*/false);
+  World ref(/*scalar=*/true);
+  soa.run();
+  ref.run();
+
+  for (std::size_t n = 0; n < soa.listeners.size(); ++n) {
+    const RecordingListener& a = *soa.listeners[n];
+    const RecordingListener& b = *ref.listeners[n];
+    SCOPED_TRACE("node " + std::to_string(n));
+    EXPECT_EQ(a.busy_edges, b.busy_edges);
+    EXPECT_EQ(a.idle_edges, b.idle_edges);
+    EXPECT_EQ(a.tx_ends, b.tx_ends);
+    ASSERT_EQ(a.received.size(), b.received.size());
+    for (std::size_t i = 0; i < a.received.size(); ++i) {
+      SCOPED_TRACE("rx " + std::to_string(i));
+      EXPECT_EQ(a.received[i].frame.true_tx, b.received[i].frame.true_tx);
+      EXPECT_EQ(a.received[i].frame.ta, b.received[i].frame.ta);
+      EXPECT_EQ(a.received[i].info.rss_w, b.received[i].info.rss_w);
+      EXPECT_EQ(a.received[i].info.rssi_dbm, b.received[i].info.rssi_dbm);
+      EXPECT_EQ(a.received[i].info.corrupted, b.received[i].info.corrupted);
+      EXPECT_EQ(a.received[i].info.collided, b.received[i].info.collided);
+      EXPECT_EQ(a.received[i].info.start, b.received[i].info.start);
+      EXPECT_EQ(a.received[i].info.end, b.received[i].info.end);
+    }
+  }
+  // The reference walk must not have touched the link-table cache.
+  EXPECT_EQ(ref.channel.link_tables_rebuilt(), 0u);
+  EXPECT_GT(soa.channel.link_tables_rebuilt(), 0u);
 }
 
 TEST_F(PhyChannelTest, BackToBackTransmissionsBothDelivered) {

@@ -42,7 +42,7 @@ class PhyExtraTest : public ::testing::Test {
     f.ta = ta;
     f.ra = ra;
     f.rate_mbps = rate;
-    f.packet = std::make_shared<Packet>();
+    f.packet = make_packet();
     f.packet->size_bytes = 1064;
     return f;
   }

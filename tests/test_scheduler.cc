@@ -12,8 +12,22 @@
 namespace g80211 {
 namespace {
 
-TEST(Scheduler, RunsEventsInTimeOrder) {
-  Scheduler s;
+// Every scheduler-facing test runs against both ready-queue backends: the
+// 4-ary heap and the hierarchical timing wheel must be observationally
+// identical (same dispatch order, same stats) — see scheduler.h.
+class SchedulerSuite : public ::testing::TestWithParam<SchedulerBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, SchedulerSuite,
+    ::testing::Values(SchedulerBackend::kDaryHeap,
+                      SchedulerBackend::kTimingWheel),
+    [](const ::testing::TestParamInfo<SchedulerBackend>& info) {
+      return info.param == SchedulerBackend::kDaryHeap ? "DaryHeap"
+                                                       : "TimingWheel";
+    });
+
+TEST_P(SchedulerSuite, RunsEventsInTimeOrder) {
+  Scheduler s{GetParam()};
   std::vector<int> order;
   s.at(microseconds(30), [&] { order.push_back(3); });
   s.at(microseconds(10), [&] { order.push_back(1); });
@@ -22,8 +36,8 @@ TEST(Scheduler, RunsEventsInTimeOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(Scheduler, TiesBreakInInsertionOrder) {
-  Scheduler s;
+TEST_P(SchedulerSuite, TiesBreakInInsertionOrder) {
+  Scheduler s{GetParam()};
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     s.at(microseconds(5), [&order, i] { order.push_back(i); });
@@ -32,8 +46,8 @@ TEST(Scheduler, TiesBreakInInsertionOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
-TEST(Scheduler, NowAdvancesToEventTime) {
-  Scheduler s;
+TEST_P(SchedulerSuite, NowAdvancesToEventTime) {
+  Scheduler s{GetParam()};
   Time seen = -1;
   s.at(milliseconds(7), [&] { seen = s.now(); });
   s.run();
@@ -41,8 +55,8 @@ TEST(Scheduler, NowAdvancesToEventTime) {
   EXPECT_EQ(s.now(), milliseconds(7));
 }
 
-TEST(Scheduler, RunUntilStopsAtHorizonAndAdvancesClock) {
-  Scheduler s;
+TEST_P(SchedulerSuite, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Scheduler s{GetParam()};
   int fired = 0;
   s.at(seconds(1), [&] { ++fired; });
   s.at(seconds(3), [&] { ++fired; });
@@ -53,8 +67,8 @@ TEST(Scheduler, RunUntilStopsAtHorizonAndAdvancesClock) {
   EXPECT_EQ(fired, 2);
 }
 
-TEST(Scheduler, EventsScheduledDuringRunExecute) {
-  Scheduler s;
+TEST_P(SchedulerSuite, EventsScheduledDuringRunExecute) {
+  Scheduler s{GetParam()};
   int depth = 0;
   std::function<void()> recurse = [&] {
     if (++depth < 5) s.after(microseconds(1), recurse);
@@ -64,8 +78,8 @@ TEST(Scheduler, EventsScheduledDuringRunExecute) {
   EXPECT_EQ(depth, 5);
 }
 
-TEST(Scheduler, CancelPreventsExecution) {
-  Scheduler s;
+TEST_P(SchedulerSuite, CancelPreventsExecution) {
+  Scheduler s{GetParam()};
   bool ran = false;
   EventId id = s.at(microseconds(10), [&] { ran = true; });
   EXPECT_TRUE(id.pending());
@@ -75,11 +89,11 @@ TEST(Scheduler, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
-TEST(Scheduler, CancelAtSameTimestampBeforeDispatchWorks) {
+TEST_P(SchedulerSuite, CancelAtSameTimestampBeforeDispatchWorks) {
   // An event at time T cancelling another event also at time T (scheduled
   // later in insertion order) must win — the MAC relies on this for
   // same-instant busy-edge vs timer races.
-  Scheduler s;
+  Scheduler s{GetParam()};
   bool second_ran = false;
   EventId second;
   s.at(microseconds(5), [&] { second.cancel(); });
@@ -88,15 +102,15 @@ TEST(Scheduler, CancelAtSameTimestampBeforeDispatchWorks) {
   EXPECT_FALSE(second_ran);
 }
 
-TEST(Scheduler, PendingReflectsFiredState) {
-  Scheduler s;
+TEST_P(SchedulerSuite, PendingReflectsFiredState) {
+  Scheduler s{GetParam()};
   EventId id = s.at(microseconds(1), [] {});
   s.run();
   EXPECT_FALSE(id.pending());
 }
 
-TEST(Scheduler, ExecutedCountsOnlyLiveEvents) {
-  Scheduler s;
+TEST_P(SchedulerSuite, ExecutedCountsOnlyLiveEvents) {
+  Scheduler s{GetParam()};
   EventId a = s.at(microseconds(1), [] {});
   s.at(microseconds(2), [] {});
   a.cancel();
@@ -104,8 +118,8 @@ TEST(Scheduler, ExecutedCountsOnlyLiveEvents) {
   EXPECT_EQ(s.executed(), 1u);
 }
 
-TEST(Scheduler, CancelAfterFireIsANoOp) {
-  Scheduler s;
+TEST_P(SchedulerSuite, CancelAfterFireIsANoOp) {
+  Scheduler s{GetParam()};
   int runs = 0;
   EventId id = s.at(microseconds(1), [&] { ++runs; });
   s.run();
@@ -124,8 +138,8 @@ TEST(Scheduler, CancelAfterFireIsANoOp) {
   EXPECT_TRUE(ran);
 }
 
-TEST(Scheduler, PendingAcrossGenerationReuseOfPooledSlot) {
-  Scheduler s;
+TEST_P(SchedulerSuite, PendingAcrossGenerationReuseOfPooledSlot) {
+  Scheduler s{GetParam()};
   EventId a = s.at(microseconds(1), [] {});
   a.cancel();  // frees the slot immediately
   EXPECT_FALSE(a.pending());
@@ -142,8 +156,8 @@ TEST(Scheduler, PendingAcrossGenerationReuseOfPooledSlot) {
   EXPECT_EQ(s.executed(), 1u);
 }
 
-TEST(Scheduler, CancelledPendingCountsTombstones) {
-  Scheduler s;
+TEST_P(SchedulerSuite, CancelledPendingCountsTombstones) {
+  Scheduler s{GetParam()};
   EventId a = s.at(microseconds(10), [] {});
   s.at(microseconds(20), [] {});
   EXPECT_EQ(s.cancelled_pending(), 0u);
@@ -157,8 +171,8 @@ TEST(Scheduler, CancelledPendingCountsTombstones) {
   EXPECT_EQ(s.queued(), 0u);
 }
 
-TEST(Scheduler, MassCancelStressDoesNotGrowPool) {
-  Scheduler s;
+TEST_P(SchedulerSuite, MassCancelStressDoesNotGrowPool) {
+  Scheduler s{GetParam()};
   constexpr int kRounds = 50;
   constexpr std::size_t kBatch = 256;
   for (int round = 0; round < kRounds; ++round) {
@@ -181,12 +195,12 @@ TEST(Scheduler, MassCancelStressDoesNotGrowPool) {
   EXPECT_LE(s.pool_slots(), kBatch);
 }
 
-TEST(Scheduler, GoldenEventOrderTrace) {
+TEST_P(SchedulerSuite, GoldenEventOrderTrace) {
   // Golden trace locking in dispatch order across engine refactors:
   // same-time ties fire in insertion order, cancelled events (including a
   // same-instant cancel) drop out, and an event scheduled *during* the
   // current instant runs after everything already queued at that instant.
-  Scheduler s;
+  Scheduler s{GetParam()};
   std::vector<std::string> trace;
   s.at(microseconds(20), [&] { trace.push_back("c1"); });
   s.at(microseconds(10), [&] {
@@ -203,6 +217,108 @@ TEST(Scheduler, GoldenEventOrderTrace) {
   s.run();
   EXPECT_EQ(trace, (std::vector<std::string>{"a1", "a2", "a1-nested", "b",
                                              "timer", "c1", "c2"}));
+}
+
+TEST_P(SchedulerSuite, CrossLevelTimesFireInOrder) {
+  // Deadlines spanning every wheel level — sub-tick, level 0, the higher
+  // windows, and far past the 2^42 ns span (overflow) — plus events
+  // scheduled mid-run. The heap backend runs the same schedule, so this
+  // also pins backend equivalence at coarse horizons.
+  Scheduler s{GetParam()};
+  std::vector<int> order;
+  const Time times[] = {
+      nanoseconds(1),   nanoseconds(900),  microseconds(2),
+      microseconds(90), milliseconds(3),   milliseconds(40),
+      seconds(2),       seconds(70),       seconds(3600),
+      seconds(5400),  // ~90 min: beyond the wheel span, overflow heap
+  };
+  int tag = 0;
+  for (Time t : times) {
+    const int id = tag++;
+    s.at(t, [&order, id] { order.push_back(id); });
+  }
+  // Same-time tie at an already-used slot plus a nested reschedule.
+  s.at(milliseconds(3), [&] {
+    order.push_back(100);
+    s.after(seconds(30), [&] { order.push_back(101); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 100, 5, 6, 101, 7, 8, 9}));
+}
+
+TEST_P(SchedulerSuite, IdleGapThenLateEventFires) {
+  // A lone far-future event forces the wheel to skip a long empty stretch
+  // (cursor jumps, not tick-by-tick crawling).
+  Scheduler s{GetParam()};
+  Time fired_at = -1;
+  s.at(seconds(7200), [&] { fired_at = s.now(); });
+  s.run();
+  EXPECT_EQ(fired_at, seconds(7200));
+  EXPECT_EQ(s.now(), seconds(7200));
+}
+
+TEST_P(SchedulerSuite, CoarseWindowBoundaryDoesNotLeapfrogParkedEntry) {
+  // Regression: B lands one full level-0 window ahead of the cursor (tick
+  // delta exactly 256), parking it in a level-1 slot. A fires on the last
+  // tick of the window and schedules a nested event one tick past B. The
+  // cursor's step off the window edge must cascade the level-1 slot it
+  // enters, or the nested tick-257 entry leapfrogs B (tick 256).
+  Scheduler s{GetParam()};
+  std::vector<int> order;
+  s.at(nanoseconds(262000), [&] {  // tick 255
+    order.push_back(0);
+    s.at(nanoseconds(263415), [&] { order.push_back(2); });  // tick 257
+  });
+  s.at(nanoseconds(263000), [&] { order.push_back(1); });  // tick 256
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SchedulerEquivalence, BackendsDispatchIdenticalOrder) {
+  // Differential test: a pseudo-random schedule (bursty times from ns to
+  // hours, nested re-scheduling, interleaved cancels) must dispatch in the
+  // exact same order on both backends.
+  auto run_backend = [](SchedulerBackend backend) {
+    Scheduler s(backend);
+    std::vector<std::pair<int, Time>> fired;
+    std::uint64_t state = 0x2545F4914F6CDD1DULL;
+    auto next = [&state] {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state;
+    };
+    std::vector<EventId> cancellable;
+    for (int i = 0; i < 4000; ++i) {
+      // Mix scales so every wheel level and the overflow heap see traffic.
+      const std::uint64_t r = next();
+      Time t = 0;
+      switch (r % 4) {
+        case 0: t = nanoseconds(static_cast<Time>(r % 2000)); break;
+        case 1: t = microseconds(static_cast<Time>(r % 5000)); break;
+        case 2: t = milliseconds(static_cast<Time>(r % 90000)); break;
+        default: t = seconds(static_cast<Time>(r % 9000)); break;
+      }
+      const int id = i;
+      EventId e = s.at(t, [&s, &fired, id, t] {
+        fired.push_back({id, t});
+        if (id % 7 == 0) {
+          s.after(microseconds(static_cast<Time>(id) + 1),
+                  [&fired, id] { fired.push_back({-id, 0}); });
+        }
+      });
+      if (r % 5 == 0) cancellable.push_back(e);
+    }
+    for (std::size_t i = 0; i < cancellable.size(); i += 2) {
+      cancellable[i].cancel();
+    }
+    s.run();
+    return fired;
+  };
+  const auto heap = run_backend(SchedulerBackend::kDaryHeap);
+  const auto wheel = run_backend(SchedulerBackend::kTimingWheel);
+  ASSERT_EQ(heap.size(), wheel.size());
+  EXPECT_EQ(heap, wheel);
 }
 
 TEST(InplaceFunction, MoveTransfersTheCallable) {
@@ -233,8 +349,8 @@ TEST(InplaceFunction, DestroysCaptureExactlyOnce) {
   EXPECT_EQ(token.use_count(), 1);
 }
 
-TEST(Timer, StartCancelRestart) {
-  Scheduler s;
+TEST_P(SchedulerSuite, TimerStartCancelRestart) {
+  Scheduler s{GetParam()};
   int fired = 0;
   Timer t(s, [&] { ++fired; });
   t.start(microseconds(10));
@@ -247,8 +363,8 @@ TEST(Timer, StartCancelRestart) {
   EXPECT_EQ(fired, 1);
 }
 
-TEST(Timer, RestartSupersedesPreviousDeadline) {
-  Scheduler s;
+TEST_P(SchedulerSuite, TimerRestartSupersedesPreviousDeadline) {
+  Scheduler s{GetParam()};
   std::vector<Time> fire_times;
   Timer t(s, [&] { fire_times.push_back(s.now()); });
   t.start(microseconds(10));
@@ -258,8 +374,8 @@ TEST(Timer, RestartSupersedesPreviousDeadline) {
   EXPECT_EQ(fire_times[0], microseconds(50));
 }
 
-TEST(Timer, DestructionCancelsPendingEvent) {
-  Scheduler s;
+TEST_P(SchedulerSuite, TimerDestructionCancelsPendingEvent) {
+  Scheduler s{GetParam()};
   int fired = 0;
   {
     Timer t(s, [&] { ++fired; });
@@ -270,8 +386,8 @@ TEST(Timer, DestructionCancelsPendingEvent) {
   EXPECT_EQ(fired, 0) << "a destroyed timer's event must not fire";
 }
 
-TEST(Timer, StartAtAbsoluteTime) {
-  Scheduler s;
+TEST_P(SchedulerSuite, TimerStartAtAbsoluteTime) {
+  Scheduler s{GetParam()};
   Time fired_at = -1;
   Timer t(s, [&] { fired_at = s.now(); });
   s.at(microseconds(5), [&] { t.start_at(microseconds(42)); });

@@ -22,7 +22,7 @@ class TraceTest : public ::testing::Test {
     return *nodes_.back();
   }
   PacketPtr packet() {
-    auto p = std::make_shared<Packet>();
+    auto p = make_packet();
     p->flow_id = 1;
     p->size_bytes = 1064;
     p->src_node = 0;

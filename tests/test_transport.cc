@@ -47,7 +47,7 @@ TEST(UdpSink, CountsUniquePayloadAndGoodput) {
   Scheduler sched;
   UdpSink sink(sched, 1024);
   auto mk = [](std::int64_t seq) {
-    auto p = std::make_shared<Packet>();
+    auto p = make_packet();
     p->seq = seq;
     p->size_bytes = 1064;
     return p;
@@ -66,7 +66,7 @@ TEST(UdpSink, CountsUniquePayloadAndGoodput) {
 TEST(UdpSink, ResetStartsMeasurementWindow) {
   Scheduler sched;
   UdpSink sink(sched, 1024);
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->seq = 0;
   sink.receive(p);
   sched.run_until(seconds(1));
@@ -215,7 +215,7 @@ TEST(Tcp, SinkAcksCumulativelyThroughReordering) {
   std::vector<std::int64_t> acks;
   sink.output = [&](PacketPtr p) { acks.push_back(p->tcp.ack); };
   auto seg = [](std::int64_t seq) {
-    auto p = std::make_shared<Packet>();
+    auto p = make_packet();
     p->tcp.seq = seq;
     p->tcp.is_ack = false;
     p->size_bytes = 1064;
@@ -238,7 +238,7 @@ TEST(Tcp, SinkCountsDuplicateSegments) {
   TcpSink sink(sched, 1, 1, 0, 1024);
   sink.output = [](PacketPtr) {};
   auto seg = [](std::int64_t seq) {
-    auto p = std::make_shared<Packet>();
+    auto p = make_packet();
     p->tcp.seq = seq;
     p->size_bytes = 1064;
     return p;
@@ -254,7 +254,7 @@ TEST(Tcp, SinkIgnoresAckPackets) {
   TcpSink sink(sched, 1, 1, 0, 1024);
   int emitted = 0;
   sink.output = [&](PacketPtr) { ++emitted; };
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->tcp.is_ack = true;
   sink.receive(p);
   EXPECT_EQ(emitted, 0);

@@ -33,6 +33,11 @@ Rules (IDs are stable; tests and NOLINT suppressions reference them):
   bare-assert           assert( in src/: compiles out under NDEBUG, i.e.
                         in exactly the builds the golden guards run.
                         Use G80211_CHECK / G80211_DCHECK (src/sim/check.h).
+  packet-arena          `new Packet` / make_shared<Packet> /
+                        make_unique<Packet> outside src/net/packet.h:
+                        Packets must come from the arena via make_packet()
+                        so the steady-state hot path never touches the
+                        heap.
   pragma-once           header missing #pragma once, or carrying a
                         #ifndef include guard (the project standard is
                         #pragma once, uniformly).
@@ -67,6 +72,7 @@ RULES = [
     "nondet-steadyclock",
     "nondet-unordered-iter",
     "bare-assert",
+    "packet-arena",
     "pragma-once",
     "include-order",
     "self-contained",
@@ -77,6 +83,7 @@ ALLOW = {
     "nondet-random": ("src/sim/rng.h", "src/sim/rng.cc"),
     "nondet-steadyclock": ("src/runner/",),
     "bare-assert": ("src/sim/check.h",),
+    "packet-arena": ("src/net/packet.h",),
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
@@ -99,6 +106,15 @@ UNORDERED_DECL_RE = re.compile(
 )
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+_H_?\b")
+# Heap-allocating a Packet bypasses the arena (src/net/packet.h): `new
+# Packet` and smart-pointer factories over Packet. `Packet\b` keeps
+# PacketArena/PacketPtr out; `[^\[]` keeps make_unique<Packet[]> (the
+# arena's own chunk storage) out.
+PACKET_HEAP_RE = re.compile(
+    r"\bnew\s+Packet\b"
+    r"|make_shared\s*<\s*Packet\s*>"
+    r"|make_unique\s*<\s*Packet\s*>"
+)
 
 
 def allowed(rule, rel):
@@ -271,6 +287,14 @@ def check_hygiene(rel, raw, stripped, out):
                 out.add(rel, i, "bare-assert",
                         "bare assert() compiles out under NDEBUG; use G80211_CHECK "
                         "or G80211_DCHECK (src/sim/check.h)", raw[i - 1])
+    if not allowed("packet-arena", rel):
+        for i, line in enumerate(stripped, 1):
+            m = PACKET_HEAP_RE.search(line)
+            if m:
+                out.add(rel, i, "packet-arena",
+                        f"'{m.group(0).strip()}': Packets are arena-allocated; "
+                        "use make_packet() (src/net/packet.h) so steady state "
+                        "stays heap-free", raw[i - 1])
     if rel.endswith(".h"):
         has_pragma = any(line.strip() == "#pragma once" for line in stripped)
         if not has_pragma:

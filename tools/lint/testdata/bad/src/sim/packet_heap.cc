@@ -1,0 +1,16 @@
+// Seeded violation: heap-allocating Packets instead of using the arena.
+#include <memory>
+
+namespace g80211_fixture {
+
+struct Packet {
+  int size_bytes = 0;
+};
+
+void* leak_one() { return new Packet; }
+
+std::shared_ptr<Packet> shared_one() { return std::make_shared<Packet>(); }
+
+std::unique_ptr<Packet> unique_one() { return std::make_unique<Packet>(); }
+
+}  // namespace g80211_fixture
