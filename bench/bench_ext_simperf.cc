@@ -13,6 +13,7 @@
 
 #include "bench/common.h"
 #include "bench/perf_counters.h"
+#include "src/scenario/sharded.h"
 #include "src/sim/scheduler.h"
 
 using namespace g80211;
@@ -222,16 +223,79 @@ void BM_TimerRestart(benchmark::State& state) {
   Scheduler s{bench_backend()};
   std::uint64_t fired = 0;
   Timer t(s, [&fired] { ++fired; });
+  // Whole-loop counter bracket, as in BM_SchedulerChurn: per-iteration
+  // ioctls would dominate these µs-scale iterations.
+  PerfCounters pc;
+  pc.start();
   for (auto _ : state) {
     for (int i = 0; i < 32; ++i) t.start(microseconds(10 + i));
     s.run();
     benchmark::DoNotOptimize(fired);
   }
+  pc.stop();
   state.counters["restarts_per_second"] = benchmark::Counter(
       32.0 * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
   state.counters["pool_slots"] =
       benchmark::Counter(static_cast<double>(s.pool_slots()));
+  report_perf(state, pc, s.executed());
+}
+
+// The conservative parallel engine at hotspot scale: four isolated cells
+// of 8 stations each plus a ring of cross-cell backhaul flows (2 ms wire
+// => 2 ms lookahead epochs), run on 1, 2 and 4 shards. The 1-shard row is
+// the sequential reference (identical epoch structure, no worker
+// threads); speedup at N shards is the row ratio. No perf-counter
+// attribution here: the work runs on pool workers, which the calling
+// thread's perf_event fds do not observe — cycle attribution for the
+// engine's event path comes from the single-threaded benches above.
+void BM_ShardedHotspot(benchmark::State& state) {
+  const int n_shards = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  double total = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t routed = 0;
+  for (auto _ : state) {
+    ShardedWorldSpec spec;
+    spec.base.comm_range_m = 30.0;
+    spec.base.cs_range_m = 60.0;
+    spec.base.measure = seconds(1);
+    spec.base.warmup = milliseconds(100);
+    spec.base.seed = seed++;
+    spec.base.scheduler_backend = bench_backend();
+    for (int b = 0; b < 4; ++b) {
+      HotspotBssSpec cell;
+      cell.ap = Position{600.0 * b, 0.0};
+      cell.n_stations = 8;
+      cell.rate_mbps = 24.0 / 8;
+      spec.bsss.push_back(cell);
+    }
+    for (int b = 0; b < 4; ++b) {
+      CrossFlowSpec cf;
+      cf.src_bss = b;
+      cf.dst_bss = (b + 1) % 4;
+      cf.dst_station = b;
+      cf.latency = milliseconds(2);
+      cf.rate_mbps = 0.5;
+      spec.cross_flows.push_back(cf);
+    }
+    ShardedSim sim(spec, n_shards, /*threaded=*/n_shards > 1);
+    sim.run();
+    sim_seconds += sim_span_seconds(spec.base);
+    events += sim.events_executed();
+    routed += sim.cross_packets_routed();
+    for (const auto& m : sim.metrics()) total += m.goodput_mbps;
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["sim_seconds_per_wall_second"] =
+      benchmark::Counter(sim_seconds, benchmark::Counter::kIsRate);
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["events_executed"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kAvgIterations);
+  state.counters["cross_packets_routed"] = benchmark::Counter(
+      static_cast<double>(routed), benchmark::Counter::kAvgIterations);
 }
 
 BENCHMARK(BM_SaturatedUdpPairs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
@@ -239,6 +303,7 @@ BENCHMARK(BM_TcpPair)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Hotspot)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SchedulerChurn)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_TimerRestart)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ShardedHotspot)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

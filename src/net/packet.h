@@ -11,8 +11,14 @@
 // slot instead of touching the heap, and every handle copy is a plain
 // non-atomic counter bump instead of std::shared_ptr's atomic RMW. The
 // refcount may be non-atomic because packets are confined to the thread
-// that created them — one Sim runs on exactly one thread, which is the
-// campaign runner's job model; the TSan preset guards the contract.
+// that created them — one Sim runs on exactly one thread. Both execution
+// models keep that contract: the campaign runner gives each Sim to one
+// pool worker for its whole job, and the sharded engine pins each shard's
+// Sim to one worker for build, every epoch and teardown
+// (ThreadPool::submit_to). A packet never crosses shards as a handle:
+// cross-shard mailboxes carry the Packet BY VALUE (the copy ctor below
+// copies payload fields only) and the destination shard re-allocates it
+// from its own thread's arena. The TSan preset guards the contract.
 //
 // Create packets with make_packet() (or make_packet(proto) to clone a
 // payload); direct `new Packet` / make_shared<Packet> is banned in src/ by

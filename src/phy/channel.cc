@@ -33,6 +33,19 @@ const NeighborSoA& Channel::neighbors_of(Phy* sender) {
   return t.soa;
 }
 
+bool Channel::may_interact(const Channel& other) const {
+  for (const Phy* a : phys_) {
+    for (const Phy* b : other.phys_) {
+      const double d = distance(a->position(), b->position());
+      // Check both channels' range semantics: a transmission from `a`
+      // reaches `b` under *this* channel's ranges, and vice versa. Either
+      // direction crossing the boundary invalidates the partition.
+      if (sensed_at(d) || other.sensed_at(d)) return true;
+    }
+  }
+  return false;
+}
+
 TxRecord* Channel::acquire_record() {
   if (free_records_.empty()) {
     records_.push_back(std::make_unique<TxRecord>());

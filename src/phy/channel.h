@@ -127,6 +127,16 @@ class Channel {
     return decodable_at(dist_m) || (cs_range_m_ > 0 && dist_m <= cs_range_m_);
   }
 
+  // Partition validator primitive for the sharded engine: true when any
+  // node attached to this channel could sense — or be sensed by — any node
+  // attached to `other`, were they on one shared medium. Splitting two
+  // channels for which this returns true would *change the physics* (a
+  // transmission that should defer or collide simply vanishes at the shard
+  // boundary), so ShardedSim refuses such partitions. Unlimited ranges
+  // (comm_range_m <= 0) on either side make every cross pair interacting.
+  // O(|this| * |other|): a build-time check, never on the event path.
+  bool may_interact(const Channel& other) const;
+
  private:
   TxRecord* acquire_record();
   void release_record(TxRecord* rec);

@@ -1,20 +1,22 @@
 #include "src/runner/thread_pool.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace g80211 {
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads) : pinned_(threads) {
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this](std::stop_token stop) { worker_loop(stop); });
+    workers_.emplace_back(
+        [this, i](std::stop_token stop) { worker_loop(i, stop); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
     std::unique_lock lock(mu_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    idle_cv_.wait(lock, [this] { return queues_drained() && active_ == 0; });
   }
   for (auto& w : workers_) w.request_stop();
   work_cv_.notify_all();
@@ -34,6 +36,24 @@ void ThreadPool::submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::submit_to(unsigned worker, std::function<void()> task) {
+  if (workers_.empty()) {
+    // Inline mode: pinning is trivially satisfied — everything runs on the
+    // calling thread, in submission order.
+    Task t{next_seq_++, std::move(task)};
+    run_task(t);
+    return;
+  }
+  if (worker >= workers_.size()) {
+    throw std::out_of_range("ThreadPool::submit_to: no such worker");
+  }
+  {
+    std::lock_guard lock(mu_);
+    pinned_[worker].push_back(Task{next_seq_++, std::move(task)});
+  }
+  work_cv_.notify_all();  // only one worker may take it; wake everyone
+}
+
 void ThreadPool::run_task(const Task& task) {
   try {
     task.fn();
@@ -46,15 +66,26 @@ void ThreadPool::run_task(const Task& task) {
   }
 }
 
-void ThreadPool::worker_loop(std::stop_token stop) {
+void ThreadPool::worker_loop(unsigned index, std::stop_token stop) {
   for (;;) {
     Task task;
     {
       std::unique_lock lock(mu_);
-      work_cv_.wait(lock, [&] { return !queue_.empty() || stop.stop_requested(); });
-      if (queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [&] {
+        return !pinned_[index].empty() || !queue_.empty() ||
+               stop.stop_requested();
+      });
+      // Pinned work first: an epoch task must not sit behind shared-queue
+      // campaign jobs grabbed by other workers.
+      if (!pinned_[index].empty()) {
+        task = std::move(pinned_[index].front());
+        pinned_[index].pop_front();
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        return;  // stop requested and nothing left for this worker
+      }
       ++active_;
     }
     run_task(task);
@@ -68,7 +99,7 @@ void ThreadPool::worker_loop(std::stop_token stop) {
 
 void ThreadPool::wait() {
   std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lock, [this] { return queues_drained() && active_ == 0; });
   if (first_error_) {
     std::exception_ptr e = std::exchange(first_error_, nullptr);
     first_error_seq_ = 0;

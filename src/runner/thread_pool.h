@@ -1,12 +1,23 @@
-// Fixed-size worker pool for the campaign runner.
+// Fixed-size worker pool for the campaign runner and the sharded engine.
 //
-// Deliberately minimal: a single FIFO queue, a fixed number of
-// std::jthread workers, no work stealing — simulation jobs are seconds of
-// simulated traffic each, so queue contention is irrelevant and a simple
-// pool keeps the execution model easy to reason about. Exceptions thrown
-// by tasks are captured and rethrown from wait(): when several tasks fail,
-// the one that was *submitted* earliest wins, so error reporting does not
-// depend on scheduling order.
+// Deliberately minimal: a shared FIFO queue plus one pinned FIFO per
+// worker, a fixed number of std::jthread workers, no work stealing —
+// simulation jobs are seconds of simulated traffic each, so queue
+// contention is irrelevant and a simple pool keeps the execution model
+// easy to reason about. Exceptions thrown by tasks are captured and
+// rethrown from wait(): when several tasks fail, the one that was
+// *submitted* earliest wins, so error reporting does not depend on
+// scheduling order.
+//
+// Pinning (submit_to) exists for state that is confined to one thread by
+// contract: a sharded simulation runs each shard's scheduler, PHY state
+// and thread-local packet arena on one worker for the shard's whole
+// lifetime (build, every epoch, teardown). A pinned task runs on exactly
+// the named worker, in submission order relative to other tasks pinned
+// there; wait() is the epoch barrier — it returns only when the shared
+// queue and every pinned queue are drained and all workers are idle, and
+// the mutex handoff gives the caller a happens-before edge over
+// everything those tasks wrote.
 #pragma once
 
 #include <condition_variable>
@@ -38,6 +49,14 @@ class ThreadPool {
   // call submit() or wait() on their own pool.
   void submit(std::function<void()> task);
 
+  // Enqueue a task pinned to worker `worker` (must be < size() when the
+  // pool has workers; with size() == 0 it runs inline like submit(), which
+  // is the single-threaded determinism reference). Tasks pinned to one
+  // worker run on that worker's thread in submission order, so state they
+  // touch — including the thread-local packet arena — stays confined to
+  // that thread across calls.
+  void submit_to(unsigned worker, std::function<void()> task);
+
   // Block until the queue is empty and all workers are idle. If any task
   // threw since the last wait(), rethrows the exception of the
   // earliest-submitted failing task (remaining captures are dropped).
@@ -49,13 +68,21 @@ class ThreadPool {
     std::function<void()> fn;
   };
 
-  void worker_loop(std::stop_token stop);
+  void worker_loop(unsigned index, std::stop_token stop);
   void run_task(const Task& task);  // executes + captures exceptions
+  bool queues_drained() const {     // callers hold mu_
+    if (!queue_.empty()) return false;
+    for (const auto& q : pinned_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
 
   std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: queue non-empty or stop
-  std::condition_variable idle_cv_;   // wait(): queue empty && none active
+  std::condition_variable work_cv_;   // workers: any queue non-empty or stop
+  std::condition_variable idle_cv_;   // wait(): queues empty && none active
   std::deque<Task> queue_;
+  std::vector<std::deque<Task>> pinned_;  // one FIFO per worker
   unsigned active_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t first_error_seq_ = 0;

@@ -30,32 +30,59 @@ Sim::Sim(const SimConfig& cfg)
   channel_.error_model().set_default_ber(cfg.default_ber);
 }
 
-Node& Sim::add_node(Position pos) {
+Node& Sim::add_node(Position pos) { return add_node(pos, rng_.fork()); }
+
+Node& Sim::add_node(Position pos, Rng rng) {
   const int id = next_node_id_++;
-  nodes_.push_back(std::make_unique<Node>(sched_, channel_, id, pos, rng_.fork()));
+  nodes_.push_back(std::make_unique<Node>(sched_, channel_, id, pos, rng));
   nodes_.back()->mac().set_rts_cts(cfg_.rts_cts);
   return *nodes_.back();
 }
 
+void Sim::set_build_counters(int next_node_id, int next_flow_id,
+                             int flows_started) {
+  G80211_CHECK(next_node_id >= next_node_id_ && next_flow_id >= next_flow_id_ &&
+               "build counters only move forward");
+  next_node_id_ = next_node_id;
+  next_flow_id_ = next_flow_id;
+  flows_started_ = flows_started;
+}
+
 Sim::UdpFlow Sim::add_udp_flow(Node& src, Node& dst, double rate_mbps,
                                int payload_bytes) {
+  return add_udp_flow(src, dst, rate_mbps, payload_bytes, rng_.fork());
+}
+
+Sim::UdpFlow Sim::add_udp_flow(Node& src, Node& dst, double rate_mbps,
+                               int payload_bytes, Rng rng) {
   UdpFlow flow;
   flow.flow_id = next_flow_id_++;
+  // Stagger flow starts by 1 ms to avoid pathological synchronisation.
+  flow.source = &add_cbr_source(src, flow.flow_id, dst.id(), rate_mbps,
+                                payload_bytes, rng,
+                                milliseconds(flows_started_++));
+  flow.sink = &add_udp_sink(dst, flow.flow_id, payload_bytes);
+  return flow;
+}
+
+CbrSource& Sim::add_cbr_source(Node& src, int flow_id, int dst_node,
+                               double rate_mbps, int payload_bytes, Rng rng,
+                               Time start_at) {
   CbrSource::Config cc;
   cc.payload_bytes = payload_bytes;
   cc.rate_mbps = rate_mbps;
-  cbr_sources_.push_back(std::make_unique<CbrSource>(
-      sched_, cc, flow.flow_id, src.id(), dst.id(), rng_.fork()));
-  flow.source = cbr_sources_.back().get();
-  flow.source->output = [&src](PacketPtr p) { src.send_packet(std::move(p)); };
+  cbr_sources_.push_back(std::make_unique<CbrSource>(sched_, cc, flow_id,
+                                                     src.id(), dst_node, rng));
+  CbrSource& source = *cbr_sources_.back();
+  source.output = [&src](PacketPtr p) { src.send_packet(std::move(p)); };
+  source.start(start_at);
+  return source;
+}
 
+UdpSink& Sim::add_udp_sink(Node& dst, int flow_id, int payload_bytes) {
   udp_sinks_.push_back(std::make_unique<UdpSink>(sched_, payload_bytes));
-  flow.sink = udp_sinks_.back().get();
-  dst.register_sink(flow.flow_id, flow.sink);
-
-  // Stagger flow starts by 1 ms to avoid pathological synchronisation.
-  flow.source->start(milliseconds(flows_started_++));
-  return flow;
+  dst.register_sink(flow_id, udp_sinks_.back().get());
+  return *udp_sinks_.back();
 }
 
 Sim::TcpFlow Sim::add_tcp_flow(Node& src, Node& dst, TcpSender::Config cfg) {
@@ -136,6 +163,11 @@ FakeAckPolicy& Sim::make_fake_acker(Node& receiver, double gp) {
 }
 
 void Sim::run() {
+  begin_run();
+  advance_to(end_time());
+}
+
+void Sim::begin_run() {
   G80211_CHECK(!ran_ && "Sim::run() may only be called once; use run_more()");
   ran_ = true;
   sched_.at(cfg_.warmup, [this] {
@@ -143,8 +175,9 @@ void Sim::run() {
     for (auto& s : tcp_sinks_) s->reset();
     for (auto& s : tcp_senders_) s->reset_stats();
   });
-  sched_.run_until(cfg_.warmup + cfg_.measure);
 }
+
+void Sim::advance_to(Time t) { sched_.run_until(t); }
 
 void Sim::run_more(Time extra) {
   G80211_CHECK(ran_);

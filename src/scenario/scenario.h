@@ -54,8 +54,25 @@ class Sim {
   Rng fork_rng() { return rng_.fork(); }
 
   Node& add_node(Position pos);
+  // Sharded-build variant: the node draws from `rng` instead of forking
+  // this sim's root stream, so the node's whole RNG future is a function of
+  // (global seed, its cell) and not of how many nodes other shards built
+  // first. ShardedSim uses this to make N-shard worlds byte-identical to
+  // the 1-shard world.
+  Node& add_node(Position pos, Rng rng);
+  // Index-based access; only valid while node ids are the default dense
+  // 0..n-1 sequence (i.e. set_build_counters() was never used to re-base
+  // ids — sharded builders keep their own registry instead).
   Node& node(int id) { return *nodes_.at(static_cast<std::size_t>(id)); }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // Pin the id/stagger counters the builder APIs consume next. A BSS built
+  // at the same bases produces identical node ids, flow ids and flow start
+  // times no matter which Sim (shard) it lands in — the identity
+  // ShardedSim's determinism contract rests on. Counters only move
+  // forward implicitly; re-basing is the caller's responsibility.
+  void set_build_counters(int next_node_id, int next_flow_id,
+                          int flows_started);
 
   // --- flows ---------------------------------------------------------------
   struct UdpFlow {
@@ -67,6 +84,20 @@ class Sim {
   // CBR/UDP from src to dst; default rate saturates both PHYs.
   UdpFlow add_udp_flow(Node& src, Node& dst, double rate_mbps = 12.0,
                        int payload_bytes = 1024);
+  // Sharded-build variant: explicit source jitter stream (see
+  // add_node(pos, rng)).
+  UdpFlow add_udp_flow(Node& src, Node& dst, double rate_mbps,
+                       int payload_bytes, Rng rng);
+
+  // Piecewise flow assembly for flows whose endpoints live in different
+  // Sims (the sharded engine's cross-shard wired flows): the source half
+  // and the sink half are created in their own shards and stitched
+  // together by the caller's routing/forwarding hooks. `start_at` is
+  // explicit — cross-sim flows cannot share one Sim's stagger counter.
+  CbrSource& add_cbr_source(Node& src, int flow_id, int dst_node,
+                            double rate_mbps, int payload_bytes, Rng rng,
+                            Time start_at);
+  UdpSink& add_udp_sink(Node& dst, int flow_id, int payload_bytes);
 
   struct TcpFlow {
     int flow_id = 0;
@@ -98,6 +129,17 @@ class Sim {
   void run();
   // Extend the run (callable after run()).
   void run_more(Time extra);
+
+  // Sliced execution for the epoch-driven sharded engine: begin_run()
+  // schedules the warmup reset (callable once, like run()), then
+  // advance_to() moves the clock forward in lookahead-bounded slices.
+  // Slicing is transparent: begin_run() + advance_to(end_time()) executes
+  // the exact event sequence of run(), and so does any monotone sequence
+  // of horizons ending at end_time() — the scheduler fires events in
+  // (time, seq) order regardless of where run_until() pauses.
+  void begin_run();
+  void advance_to(Time t);
+  Time end_time() const { return cfg_.warmup + cfg_.measure; }
 
  private:
   SimConfig cfg_;

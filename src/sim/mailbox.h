@@ -1,0 +1,55 @@
+// Epoch-synchronized SPSC mailbox for the conservative parallel engine.
+//
+// One mailbox carries boundary events for one directed cross-shard link:
+// exactly one producer (the source shard's worker thread, during an epoch)
+// appends, and exactly one consumer (the epoch coordinator, at the barrier
+// while every worker is idle) drains. There is deliberately no internal
+// locking: the conservative synchronization protocol itself provides the
+// exclusion — production happens strictly inside an epoch, consumption
+// strictly at the barrier between epochs, and the barrier (ThreadPool
+// wait()/submit_to() mutex handoff) publishes the producer's writes to the
+// consumer with a happens-before edge. The TSan preset runs the sharded
+// tests to hold this contract.
+//
+// Ordering: push order is preserved, and each item is stamped with a
+// per-mailbox sequence number so the coordinator can merge several
+// mailboxes into one deterministic delivery order (sort by the caller's
+// time key, then mailbox id, then sequence) regardless of which shard ran
+// first on the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace g80211 {
+
+template <typename T>
+class EpochMailbox {
+ public:
+  struct Stamped {
+    std::uint64_t seq = 0;  // per-mailbox, monotonic from 0
+    T item;
+  };
+
+  // Producer side (source shard's thread, inside an epoch).
+  void push(T item) {
+    items_.push_back(Stamped{next_seq_++, std::move(item)});
+  }
+
+  // Consumer side (coordinator, at the barrier). Leaves the mailbox empty
+  // but keeps the sequence counter running so stamps stay unique across
+  // epochs.
+  std::vector<Stamped> drain() { return std::exchange(items_, {}); }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  // Total items ever pushed (diagnostics; equals the next stamp).
+  std::uint64_t total_pushed() const { return next_seq_; }
+
+ private:
+  std::vector<Stamped> items_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace g80211

@@ -1,16 +1,16 @@
 #include "src/transport/udp_sink.h"
 
-#include <algorithm>
-
 namespace g80211 {
 
 void UdpSink::receive(const PacketPtr& packet) {
-  if (!seen_.insert(packet->seq).second) {
+  // FIFO single-path delivery (see header): at or below the watermark
+  // means duplicate, above means new. No allocation, no set.
+  if (packet->seq <= highest_seq_) {
     ++duplicates_;
     return;
   }
   ++packets_;
-  highest_seq_ = std::max(highest_seq_, packet->seq);
+  highest_seq_ = packet->seq;
 }
 
 void UdpSink::reset() {

@@ -2,10 +2,19 @@
 // correctly received, non-duplicate application payload. MAC-level
 // duplicate filtering already removes link-layer retransmission dups;
 // the sink additionally guards on the transport sequence number.
+//
+// The transport guard is a single highest-seq watermark, not a seen-set:
+// every delivery path to a sink is FIFO and single-path (a stop-and-wait
+// MAC queue, optionally behind an in-order lossless wire), so a datagram
+// can only arrive with seq above the watermark (new) or equal/below it
+// (a retransmission duplicate that slipped past MAC dedup) — never as a
+// late first arrival below it. The watermark makes receive() free of
+// heap allocation, which was the last steady-state allocation on the
+// packet path (the golden fig1 hash pins that the accounting is
+// unchanged).
 #pragma once
 
 #include <cstdint>
-#include <set>
 
 #include "src/net/node.h"
 #include "src/sim/scheduler.h"
@@ -37,8 +46,7 @@ class UdpSink : public PacketSink {
   Time measure_start_ = 0;
   std::int64_t packets_ = 0;
   std::int64_t duplicates_ = 0;
-  std::int64_t highest_seq_ = -1;
-  std::set<std::int64_t> seen_;  // transport-level dedup
+  std::int64_t highest_seq_ = -1;  // doubles as the dedup watermark
 };
 
 }  // namespace g80211
