@@ -39,6 +39,13 @@ class CaptureStreamReader {
   // can never become a valid capture (same conditions as read_capture).
   std::size_t poll(std::vector<CapturedFrame>& out);
 
+  // True once the format sniff saw the pcap magic — available as soon as
+  // the first 4 bytes arrive, long before a full pcap file header. Callers
+  // that only accept JSONL journals (the monitor, whose detectors need the
+  // exact ticks and ground truth pcap drops) use this to fail fast instead
+  // of tailing a file that can never produce a record for them.
+  bool pcap_detected() const { return format_ == Format::kPcap; }
+
   // File-level metadata, valid once header_ready().
   bool header_ready() const { return header_ready_; }
   bool has_params() const { return has_params_; }       // JSONL only

@@ -137,6 +137,16 @@ class Mac : public PhyListener {
   void send(PacketPtr packet, int dest_mac);
   std::size_t queue_size() const { return queue_.size(); }
 
+  // Association handoff support: drop every queued (not yet serviced)
+  // packet addressed to `dest_mac`. A frame already under service —
+  // mid-backoff or awaiting its ACK — completes or exhausts its retries
+  // normally; aborting a live exchange would strand the peers' NAV and
+  // timeout bookkeeping mid-protocol. Returns the number of packets
+  // dropped (not counted in queue drop stats, which mean congestion).
+  std::size_t abort_queued_to(int dest_mac) {
+    return queue_.erase_dest(dest_mac);
+  }
+
   // --- stats --------------------------------------------------------------
   const MacStats& stats() const { return stats_; }
   const Backoff& backoff() const { return backoff_; }

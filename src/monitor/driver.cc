@@ -22,13 +22,17 @@ void MonitorDriver::pump(Stream& s) {
   s.batch.clear();
   std::vector<CapturedFrame> polled;
   s.reader.poll(polled);
+  // Reject pcap on the magic bytes, before a full file header exists:
+  // a tailed pcap would otherwise never produce a monitor record (and
+  // never finish), so follow mode would poll it silently forever.
+  if (s.reader.pcap_detected()) {
+    throw std::runtime_error(
+        "monitor: " + s.reader.path() +
+        ": pcap capture detected — the monitor (and --follow tail mode) "
+        "requires JSONL journals: pcap drops the exact ticks, parameters "
+        "and ground truth the detectors need");
+  }
   if (s.monitor == nullptr && s.reader.header_ready()) {
-    if (!s.reader.has_params()) {
-      throw std::runtime_error(
-          "monitor: " + s.reader.path() +
-          " lacks simulation parameters (the monitor needs the JSONL "
-          "journal; pcap drops exact ticks and ground truth)");
-    }
     s.monitor = std::make_unique<StreamMonitor>(
         s.reader.params(), s.reader.owner(), opts_.config);
   }

@@ -20,7 +20,9 @@
 //
 // The driver only accepts JSONL journals: the detectors need the exact
 // ticks, parameters and ground truth that pcap drops (same rule as
-// replay_capture).
+// replay_capture). A pcap input is rejected on its magic bytes, at the
+// first pass — before the full pcap file header has even been written —
+// so follow mode fails loudly instead of tailing it forever.
 #pragma once
 
 #include <cstdint>

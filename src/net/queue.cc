@@ -21,4 +21,17 @@ std::pair<PacketPtr, int> DropTailQueue::pop() {
   return front;
 }
 
+std::size_t DropTailQueue::erase_dest(int dest_mac) {
+  const std::size_t before = q_.size();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    if (q_[i].second != dest_mac) {
+      if (kept != i) q_[kept] = std::move(q_[i]);
+      ++kept;
+    }
+  }
+  q_.resize(kept);
+  return before - kept;
+}
+
 }  // namespace g80211

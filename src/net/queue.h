@@ -24,6 +24,12 @@ class DropTailQueue {
   // Precondition: !empty().
   std::pair<PacketPtr, int> pop();
 
+  // Remove every queued packet addressed to `dest_mac` (association
+  // handoff: the old AP stops delivering to a departed station). Returns
+  // the number of packets removed; they are not counted as drops() —
+  // that counter means congestion.
+  std::size_t erase_dest(int dest_mac);
+
  private:
   std::size_t limit_;
   std::int64_t drops_ = 0;

@@ -72,11 +72,14 @@ MetricSink::MetricSink(const std::string& figure) {
     return;
   }
   std::fprintf(csv_, "figure,label,metric,median,p25,p75,n_runs,seed,wall_ms\n");
+  window_stem_ = stem + ".windows";
 }
 
 MetricSink::~MetricSink() {
   if (jsonl_ != nullptr) std::fclose(jsonl_);
   if (csv_ != nullptr) std::fclose(csv_);
+  if (win_jsonl_ != nullptr) std::fclose(win_jsonl_);
+  if (win_csv_ != nullptr) std::fclose(win_csv_);
 }
 
 void MetricSink::write(const MetricRow& row) {
@@ -94,6 +97,39 @@ void MetricSink::write(const MetricRow& row) {
                csv_quoted(row.figure).c_str(), csv_quoted(row.label).c_str(),
                csv_quoted(row.metric).c_str(), row.median, row.p25, row.p75,
                row.n_runs, row.seed, row.wall_ms);
+}
+
+void MetricSink::write(const WindowRow& row) {
+  if (window_stem_.empty()) return;
+  if (win_jsonl_ == nullptr) {
+    win_jsonl_ = std::fopen((window_stem_ + ".jsonl").c_str(), "w");
+    if (win_jsonl_ == nullptr) {
+      window_stem_.clear();
+      return;
+    }
+    win_csv_ = std::fopen((window_stem_ + ".csv").c_str(), "w");
+    if (win_csv_ == nullptr) {
+      std::fclose(win_jsonl_);
+      win_jsonl_ = nullptr;
+      window_stem_.clear();
+      return;
+    }
+    std::fprintf(win_csv_,
+                 "figure,label,metric,t_start_s,t_end_s,count,mean,p25,p50,"
+                 "p75\n");
+  }
+  std::fprintf(win_jsonl_,
+               "{\"figure\":\"%s\",\"label\":\"%s\",\"metric\":\"%s\","
+               "\"t_start_s\":%.17g,\"t_end_s\":%.17g,\"count\":%" PRId64
+               ",\"mean\":%.17g,\"p25\":%.17g,\"p50\":%.17g,\"p75\":%.17g}\n",
+               escaped(row.figure).c_str(), escaped(row.label).c_str(),
+               escaped(row.metric).c_str(), row.t_start_s, row.t_end_s,
+               row.count, row.mean, row.p25, row.p50, row.p75);
+  std::fprintf(win_csv_,
+               "%s,%s,%s,%.17g,%.17g,%" PRId64 ",%.17g,%.17g,%.17g,%.17g\n",
+               csv_quoted(row.figure).c_str(), csv_quoted(row.label).c_str(),
+               csv_quoted(row.metric).c_str(), row.t_start_s, row.t_end_s,
+               row.count, row.mean, row.p25, row.p50, row.p75);
 }
 
 }  // namespace g80211

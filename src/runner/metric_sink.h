@@ -18,6 +18,16 @@
 //   wall_ms  summed wall-clock of the point's runs (the only field that is
 //            not bit-identical across repeats/thread counts)
 //
+// Streaming campaigns (the city-scale scenario runner) additionally emit
+// per-window rows: fixed simulated-time windows, each carrying the
+// count/mean/p25/p50/p75 of the samples that fell inside it, aggregated
+// by constant-memory estimators (src/runner/stream_stats.h) and written
+// the moment the window closes. Window rows go to <figure>.windows.jsonl
+// and <figure>.windows.csv, opened lazily on the first window write, so
+// figures that never stream pay nothing. Peak sink memory is therefore
+// independent of how long the simulation runs — nothing is stored and
+// aggregated after the fact.
+//
 // All writes happen on the campaign's aggregation thread, in job order;
 // the sink itself is not thread-safe and does not need to be.
 #pragma once
@@ -47,6 +57,21 @@ struct MetricRow {
   double wall_ms = 0.0;
 };
 
+// One closed aggregation window: samples observed in simulated-time
+// [t_start_s, t_end_s), summarized by the streaming estimators.
+struct WindowRow {
+  std::string figure;
+  std::string label;   // stream label within the figure ("ring0")
+  std::string metric;  // sampled quantity ("station_goodput_mbps")
+  double t_start_s = 0.0;
+  double t_end_s = 0.0;
+  std::int64_t count = 0;  // samples in the window
+  double mean = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+};
+
 class MetricSink {
  public:
   // Opens <dir>/<figure>.jsonl and <dir>/<figure>.csv (truncating) when
@@ -59,10 +84,16 @@ class MetricSink {
 
   bool enabled() const { return jsonl_ != nullptr; }
   void write(const MetricRow& row);
+  // Streaming path: appends to <figure>.windows.{jsonl,csv}, opened on the
+  // first call. No-op on a disabled sink.
+  void write(const WindowRow& row);
 
  private:
+  std::string window_stem_;  // <dir>/<figure>.windows, empty when disabled
   std::FILE* jsonl_ = nullptr;
   std::FILE* csv_ = nullptr;
+  std::FILE* win_jsonl_ = nullptr;
+  std::FILE* win_csv_ = nullptr;
 };
 
 }  // namespace g80211

@@ -1,0 +1,119 @@
+#include "src/runner/stream_stats.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace g80211 {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  G80211_CHECK(p > 0.0 && p < 1.0 && "quantile must be in (0, 1)");
+  for (int i = 0; i < 5; ++i) {
+    q_[i] = 0.0;
+    pos_[i] = static_cast<double>(i + 1);
+  }
+  // Desired positions start at the canonical marker spread for quantile p
+  // and advance by inc_ per observation (Jain & Chlamtac, Box 1).
+  des_[0] = 1.0;
+  des_[1] = 1.0 + 2.0 * p;
+  des_[2] = 1.0 + 4.0 * p;
+  des_[3] = 3.0 + 2.0 * p;
+  des_[4] = 5.0;
+  inc_[0] = 0.0;
+  inc_[1] = p / 2.0;
+  inc_[2] = p;
+  inc_[3] = (1.0 + p) / 2.0;
+  inc_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) {
+  ++n_;
+  if (n_ <= 5) {
+    // Collect-and-sort phase: the first five markers are the first five
+    // samples in order; estimates are exact here.
+    q_[n_ - 1] = x;
+    std::sort(q_, q_ + n_);
+    return;
+  }
+
+  // Locate the cell k with q_[k] <= x < q_[k+1], extending the extremes.
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) des_[i] += inc_[i];
+
+  // Adjust the three interior markers toward their desired positions with
+  // the piecewise-parabolic (P²) update, falling back to linear when the
+  // parabola would break marker monotonicity.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = des_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      const double qp =
+          q_[i] + s / (pos_[i + 1] - pos_[i - 1]) *
+                      ((pos_[i] - pos_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                           (pos_[i + 1] - pos_[i]) +
+                       (pos_[i + 1] - pos_[i] - s) * (q_[i] - q_[i - 1]) /
+                           (pos_[i] - pos_[i - 1]));
+      if (q_[i - 1] < qp && qp < q_[i + 1]) {
+        q_[i] = qp;
+      } else {
+        const int j = i + static_cast<int>(s);
+        q_[i] += s * (q_[j] - q_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ <= 5) {
+    // Exact quantile of the sorted prefix, nearest-rank with interpolation
+    // matching the runner's aggregate() convention (linear between ranks).
+    const double rank = p_ * static_cast<double>(n_ - 1);
+    const int lo = static_cast<int>(rank);
+    const int hi = std::min<int>(lo + 1, static_cast<int>(n_) - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return q_[lo] + frac * (q_[hi] - q_[lo]);
+  }
+  return q_[2];
+}
+
+StreamingStat::StreamingStat() : q25_(0.25), q50_(0.5), q75_(0.75) {}
+
+void StreamingStat::add(double x) {
+  ++n_;
+  // Welford's running mean: numerically stable for long windows.
+  mean_ += (x - mean_) / static_cast<double>(n_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  q25_.add(x);
+  q50_.add(x);
+  q75_.add(x);
+}
+
+void StreamingStat::reset() {
+  n_ = 0;
+  mean_ = min_ = max_ = 0.0;
+  q25_ = P2Quantile(0.25);
+  q50_ = P2Quantile(0.5);
+  q75_ = P2Quantile(0.75);
+}
+
+}  // namespace g80211

@@ -1,0 +1,75 @@
+// Constant-memory streaming statistics for windowed metric aggregation.
+//
+// City-scale campaigns run for arbitrary simulated durations, so metric
+// aggregation must not store per-sample history: peak memory has to be a
+// function of the world size, never of how long the world runs. Two
+// primitives carry that contract:
+//
+//  * P2Quantile — the P-squared (piecewise-parabolic) single-quantile
+//    estimator of Jain & Chlamtac (CACM 1985): five markers whose heights
+//    approximate the quantile by fitting a parabola through neighbouring
+//    markers as observations stream in. Exact for the first five samples,
+//    O(1) memory and O(1) per sample forever after.
+//  * StreamingStat — count, Welford mean, min/max, and P² estimates of the
+//    25th/50th/75th percentiles. The same five-number summary the campaign
+//    runner reports per point, computed without a sample buffer.
+//
+// Like every aggregation path in the repo, results are a pure function of
+// the sample sequence: no wall clock, no randomness, no iteration over
+// unordered containers.
+#pragma once
+
+#include <cstdint>
+
+namespace g80211 {
+
+class P2Quantile {
+ public:
+  // `p` in (0, 1): the quantile to track (0.5 = median).
+  explicit P2Quantile(double p);
+
+  void add(double x);
+
+  // Current estimate; exact while count() <= 5, P² approximation after.
+  // 0 when no samples have been added.
+  double value() const;
+
+  std::int64_t count() const { return n_; }
+
+ private:
+  double p_;
+  std::int64_t n_ = 0;
+  double q_[5];    // marker heights (sorted first five samples initially)
+  double pos_[5];  // actual marker positions (1-based sample ranks)
+  double des_[5];  // desired marker positions
+  double inc_[5];  // desired-position increment per sample
+};
+
+class StreamingStat {
+ public:
+  StreamingStat();
+
+  void add(double x);
+  // Forget everything (window reset). Cheaper than re-constructing and
+  // allocation-free, so per-window aggregates can reuse one instance.
+  void reset();
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double p25() const { return q25_.value(); }
+  double p50() const { return q50_.value(); }
+  double p75() const { return q75_.value(); }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  P2Quantile q25_;
+  P2Quantile q50_;
+  P2Quantile q75_;
+};
+
+}  // namespace g80211

@@ -1,0 +1,34 @@
+// Dependency-free parsers for world-description files.
+//
+// Two front-ends, one Value tree (value.h):
+//
+//  * parse_toml — the TOML subset the specs actually need: `# comments`,
+//    `[table]` headers, `[[table]]` array-of-tables headers, and
+//    `key = value` pairs whose values are strings ("..." with \" \\ \n \t
+//    escapes), booleans, integers, floats, and (possibly nested,
+//    possibly multi-line) arrays. Table names are flat — no dotted keys —
+//    and redefining a key or a `[table]` is an error, so a spec means one
+//    thing only.
+//  * parse_json — standard JSON (objects, arrays, strings, numbers,
+//    booleans, null is rejected: a spec key is either present or absent).
+//
+// parse_text sniffs the format from the first non-whitespace byte ('{' =
+// JSON, anything else = TOML); parse_file reads a file and uses its path
+// as the error-message source name. All errors are SpecErrors anchored to
+// the offending source line ("city.toml:12: ...").
+#pragma once
+
+#include <string>
+
+#include "src/scenario/spec/value.h"
+
+namespace g80211::spec {
+
+Value parse_toml(const std::string& text, const std::string& source);
+Value parse_json(const std::string& text, const std::string& source);
+
+// Format-sniffing entry points.
+Value parse_text(const std::string& text, const std::string& source);
+Value parse_file(const std::string& path);
+
+}  // namespace g80211::spec

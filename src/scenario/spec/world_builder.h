@@ -1,0 +1,190 @@
+// WorldBuilder — compiles a WorldSpec into a runnable world.
+//
+// Two back-ends share one deterministic placement/role plan:
+//
+//  * BuiltWorld — a single Sim carrying every spec feature: per-class
+//    traffic (CBR, bursty web, TCP downloads), arrival/departure churn
+//    sessions, roaming stations with association handoff (via
+//    net/mobility.h WaypointMobility legs), greedy receivers with the
+//    configured misbehavior mix, and GRC-protected APs. run() advances
+//    the simulation in fixed metric windows and reports each window's
+//    per-ring honest goodput ("damage radius": rings are distance bands
+//    around the nearest greedy receiver) through constant-memory
+//    streaming aggregation — peak RSS is a function of the world size,
+//    never of the simulated duration.
+//
+//  * to_sharded() — compiles the sharded-representable subset (static
+//    saturated-CBR hotspots: no churn, no roaming, no greedy stations,
+//    no GRC, arc placement, a single cbr traffic class) into the PR 8
+//    ShardedWorldSpec, inheriting its byte-identical-at-any-shard-count
+//    contract. Specs outside the subset are rejected with a SpecError
+//    naming the first unsupported feature.
+//
+// The plan (plan_world) assigns every role by splitmix64-style hashing of
+// (seed, entity index): station i's traffic class, greedy/roaming/churn
+// flags and AP i's GRC flag are pure functions of the spec, independent
+// of build order and shard count. Role precedence: greedy stations
+// neither roam nor churn (they camp and misbehave); roaming stations are
+// exempt from churn (their session is the walk); TCP stations are exempt
+// from churn and roaming (they are the long-download anchor population —
+// mid-flight sender migration is out of scope).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/detect/grc.h"
+#include "src/net/mobility.h"
+#include "src/runner/stream_stats.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/sharded.h"
+#include "src/scenario/spec/world_spec.h"
+
+namespace g80211::spec {
+
+struct StationPlan {
+  int ap = 0;             // home AP index
+  Position pos;           // home position
+  int traffic = 0;        // index into spec.traffic
+  bool greedy = false;
+  int misbehavior = 0;    // 0 = NAV inflation, 1 = ACK spoofing, 2 = fake ACK
+  bool roams = false;
+  int roam_target_ap = -1;  // nearest other AP
+  bool churns = false;
+  int ring = -1;  // damage-radius ring for honest stations; -1 when greedy
+                  // or when the world has no greedy stations
+};
+
+struct WorldPlan {
+  std::vector<Position> aps;
+  std::vector<bool> grc;               // per AP
+  std::vector<StationPlan> stations;   // AP-major order
+  int num_rings = 0;                   // 0 when no greedy stations exist
+};
+
+// Pure function of the spec; see header comment for the hashing scheme.
+WorldPlan plan_world(const WorldSpec& spec);
+
+SimConfig to_sim_config(const WorldSpec& spec);
+
+// Sharded-subset compile; throws SpecError naming the first unsupported
+// feature (anchored to line 0 of the spec's name, not a source line — the
+// restriction is semantic, not syntactic).
+ShardedWorldSpec to_sharded(const WorldSpec& spec);
+
+class BuiltWorld {
+ public:
+  explicit BuiltWorld(const WorldSpec& spec);
+
+  BuiltWorld(const BuiltWorld&) = delete;
+  BuiltWorld& operator=(const BuiltWorld&) = delete;
+
+  Sim& sim() { return *sim_; }
+  const WorldPlan& plan() const { return plan_; }
+  Node& ap_node(int ap) { return *ap_nodes_.at(static_cast<std::size_t>(ap)); }
+  Node& station_node(int station) {
+    return *station_nodes_.at(static_cast<std::size_t>(station));
+  }
+  int num_rings() const { return plan_.num_rings; }
+
+  // Observation hook, fired at each association handoff. Handoffs are
+  // otherwise only counted (never logged) so memory stays duration-free.
+  std::function<void(int station, int from_ap, int to_ap, Time at)> on_handoff;
+
+  // One closed metric window (simulated [t_start_s, t_end_s)).
+  struct RingWindow {
+    std::int64_t stations = 0;  // honest stations in the ring
+    double total_mbps = 0.0;    // summed honest goodput of the ring
+    double mean_mbps = 0.0;     // per-station distribution within the window
+    double p25 = 0.0;
+    double p50 = 0.0;
+    double p75 = 0.0;
+  };
+  struct WindowReport {
+    int index = 0;
+    double t_start_s = 0.0;
+    double t_end_s = 0.0;
+    double honest_mbps = 0.0;  // all honest stations
+    double greedy_mbps = 0.0;  // all greedy stations
+    std::vector<RingWindow> rings;  // ring 0 = closest to a greedy receiver
+  };
+
+  // Warmup, then measure in window_s slices; `on_window` (optional) fires
+  // as each window closes. Call once.
+  void run(const std::function<void(const WindowReport&)>& on_window = {});
+
+  // Whole-run streams over the per-window values (constant memory).
+  struct Summary {
+    int windows = 0;
+    StreamingStat honest_mbps;
+    StreamingStat greedy_mbps;
+    std::vector<StreamingStat> ring_mbps;  // per-ring window totals
+    std::vector<std::int64_t> ring_stations;
+    std::int64_t handoffs = 0;
+    std::int64_t nav_detections = 0;
+    std::int64_t spoof_detections = 0;
+  };
+  const Summary& summary() const { return summary_; }
+
+ private:
+  // A station whose CbrSource alternates exponential on/off periods (web
+  // bursts or churn sessions).
+  struct OnOffSession {
+    Timer timer;
+    CbrSource* source = nullptr;
+    Rng rng;
+    double mean_on_s = 1.0;
+    double mean_off_s = 1.0;
+    bool on = true;
+    OnOffSession(Scheduler& sched, std::function<void()> cb, Rng r)
+        : timer(sched, std::move(cb)), rng(r) {}
+  };
+
+  // A station walking between its home arc position and the mirrored
+  // position at the nearest other AP, re-associating with hysteresis.
+  struct Roamer {
+    Timer timer;
+    int station = 0;      // global station index
+    Node* node = nullptr;
+    int aps[2] = {0, 0};           // [0] = home, [1] = target (AP indices)
+    Position anchors[2];           // walk endpoints
+    int associated = 0;            // index into aps[]
+    int leg = 1;                   // anchor currently walked toward
+    std::unique_ptr<WaypointMobility> walk;
+    Roamer(Scheduler& sched, std::function<void()> cb)
+        : timer(sched, std::move(cb)) {}
+  };
+
+  struct FlowRef {
+    UdpSink* udp = nullptr;
+    TcpSink* tcp = nullptr;
+    CbrSource* source = nullptr;
+    int unit_bytes = 0;  // payload (udp) or mss (tcp) per counted unit
+    std::int64_t units() const {
+      return udp != nullptr ? udp->packets() : tcp->segments();
+    }
+  };
+
+  void toggle_session(OnOffSession& s);
+  void roam_step(Roamer& r);
+
+  WorldSpec spec_;
+  WorldPlan plan_;
+  std::unique_ptr<Sim> sim_;
+  std::vector<Node*> ap_nodes_;
+  std::vector<Node*> station_nodes_;
+  std::vector<FlowRef> flows_;       // per station
+  std::vector<int> delivery_ap_;     // per station: AP currently delivering
+  std::vector<OnOffSession*> sessions_by_station_;  // nullptr when always-on
+  std::vector<Roamer*> roamers_by_station_;         // nullptr when anchored
+  std::vector<std::unique_ptr<Grc>> grcs_;
+  std::vector<std::unique_ptr<OnOffSession>> sessions_;
+  std::vector<std::unique_ptr<Roamer>> roamers_;
+  std::vector<std::int64_t> prev_units_;  // window delta baseline
+  Summary summary_;
+  bool ran_ = false;
+};
+
+}  // namespace g80211::spec

@@ -19,7 +19,12 @@ CbrSource::CbrSource(Scheduler& sched, Config cfg, int flow_id, int src_node,
                       cfg_.rate_mbps);
 }
 
-void CbrSource::start(Time at) { timer_.start_at(at); }
+void CbrSource::start(Time at) {
+  // Restartable: on/off session controllers (web bursts, churn) stop and
+  // later restart one source, so a start clears any previous stop mark.
+  stop_at_ = kNever;
+  timer_.start_at(at);
+}
 
 void CbrSource::stop(Time at) { stop_at_ = at; }
 

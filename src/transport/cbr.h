@@ -35,6 +35,8 @@ class CbrSource {
   // Where generated packets go (node or wired-host send_packet).
   std::function<void(PacketPtr)> output;
 
+  // start() clears any earlier stop(), so a source can be stopped and
+  // restarted repeatedly (on/off web bursts, station churn sessions).
   void start(Time at);
   void stop(Time at);
 

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <set>
 
 #include "src/net/node.h"

@@ -6,10 +6,12 @@ void TcpSink::receive(const PacketPtr& packet) {
   if (packet->tcp.is_ack) return;
   const std::int64_t seq = packet->tcp.seq;
 
-  if (ever_received_.insert(seq).second) {
-    ++segments_;
-  } else {
+  // Watermark duplicate test (see header): previously received iff already
+  // cumulatively delivered or still waiting in the reorder buffer.
+  if (seq < next_expected_ || out_of_order_.count(seq) != 0) {
     ++duplicates_;
+  } else {
+    ++segments_;
   }
 
   if (seq == next_expected_) {

@@ -2,6 +2,13 @@
 // ns-2 setup). Every arriving data segment triggers an ACK carrying the
 // next expected segment number; out-of-order segments are buffered.
 // Goodput counts correctly received, non-duplicate payload.
+//
+// Duplicate detection is watermark-based, like UdpSink's: a segment is a
+// duplicate iff it is below next_expected_ (cumulatively delivered) or
+// still buffered in out_of_order_. The set of ever-received segments is
+// exactly [0, next_expected_) ∪ out_of_order_, so no separate seen-set is
+// needed and sink memory is bounded by the reorder window instead of
+// growing with the transfer length.
 #pragma once
 
 #include <cstdint>
@@ -45,7 +52,6 @@ class TcpSink : public PacketSink {
 
   std::int64_t next_expected_ = 0;
   std::set<std::int64_t> out_of_order_;
-  std::set<std::int64_t> ever_received_;  // duplicate accounting
   std::int64_t segments_ = 0;   // unique segments since last reset
   std::int64_t duplicates_ = 0;
   Time measure_start_ = 0;

@@ -48,6 +48,7 @@ def main():
     per_file = {
         "src/sim/layering_violation.h": {"layering"},
         "src/sim/monitor_dependency.h": {"layering"},
+        "src/mac/nested_dependency.h": {"layering"},
         "src/sim/relative_include.cc": {"layering"},
         "src/sim/random.cc": {"nondet-random"},
         "src/sim/wallclock.cc": {"nondet-wallclock"},
@@ -66,6 +67,13 @@ def main():
               f"exit={p.returncode}\n{p.stdout}{p.stderr}")
         check(f"{rel} flags exactly {sorted(expected)}", got == expected,
               f"got {sorted(got)}\n{p.stdout}")
+
+    # 2b. Nested layers resolve by longest prefix: a file *inside*
+    # mac/ext may use its parent layer and scans clean.
+    p = run(["--root", str(TESTDATA / "bad"), "--deps", str(DEPS),
+             "--no-self-contained", "src/mac/ext/stub.h"])
+    check("mac/ext/stub.h (nested layer) scans clean", p.returncode == 0,
+          f"exit={p.returncode}\n{p.stdout}{p.stderr}")
 
     # 3. The compiler-backed rule, on its own fixture.
     p = run(["--root", str(TESTDATA / "bad"), "--deps", str(DEPS),

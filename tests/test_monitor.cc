@@ -293,10 +293,17 @@ TEST(MonitorDriver, FollowsAGrowingJournalToTheFooter) {
 
 TEST(MonitorDriver, RejectsPcapAndTruncatedInput) {
   // pcap drops the ticks and ground truth the detectors need: the driver
-  // refuses it as soon as the header is read.
+  // refuses it as soon as the magic bytes are read, naming the format it
+  // does accept.
   {
     MonitorDriver driver(MonitorOptions{}, {golden_pcap()});
-    EXPECT_THROW(driver.drain(), std::runtime_error);
+    try {
+      driver.drain();
+      FAIL() << "pcap input must be rejected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("JSONL"), std::string::npos)
+          << e.what();
+    }
   }
   // A journal that ends without its footer is a truncated capture.
   {
@@ -307,6 +314,31 @@ TEST(MonitorDriver, RejectsPcapAndTruncatedInput) {
     append(path, bytes.data(), bytes.size() / 2);
     MonitorDriver driver(MonitorOptions{}, {path});
     EXPECT_THROW(driver.drain(), std::runtime_error);
+  }
+}
+
+TEST(MonitorDriver, RejectsAGrowingPcapOnTheFirstPass) {
+  // Follow-mode regression: a pcap being tailed used to park the driver in
+  // the poll loop forever — the reader never reached header_ready (so the
+  // old params check never fired) and pcap never finishes. The magic bytes
+  // alone, with the file header still unwritten, must now fail the very
+  // first pass with the "requires JSONL journals" error instead of
+  // consuming nothing silently.
+  const std::vector<std::uint8_t> bytes = slurp(golden_pcap());
+  ASSERT_GT(bytes.size(), 12u);
+  const std::string path = artifact("partial.pcap");
+  std::filesystem::remove(path);
+  { std::ofstream touch(path, std::ios::binary | std::ios::trunc); }
+  append(path, bytes.data(), 12);  // magic + a few header bytes, no records
+
+  MonitorDriver driver(MonitorOptions{}, {path});
+  try {
+    driver.pass();
+    FAIL() << "partial pcap must be rejected on the first pass";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("requires JSONL journals"),
+              std::string::npos)
+        << e.what();
   }
 }
 

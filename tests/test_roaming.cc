@@ -1,0 +1,176 @@
+// Roaming under churn (net/mobility.h through the scenario-spec builder):
+// a station walks between two BSSs while its downlink flow is active. The
+// association handoff must re-point delivery at the new AP, the old AP
+// must stop transmitting to the station (its queue is flushed; only the
+// frame already in service may finish), and the whole world must be
+// deterministic across G80211_JOBS / campaign thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/mac/mac.h"
+#include "src/net/queue.h"
+#include "src/runner/campaign.h"
+#include "src/scenario/spec/world_builder.h"
+#include "src/scenario/spec/world_spec.h"
+
+using namespace g80211;
+using namespace g80211::spec;
+
+namespace {
+
+// Two APs 40 m apart; roamers walk at 10 m/s with 2 m hysteresis, so a
+// full leg takes ~4 s and the crossover lands near the midpoint. Churn and
+// web traffic stay on so the handoff happens in a busy, bursty cell.
+const char* kRoamToml = R"(
+[world]
+name = "roamworld"
+seed = 6
+warmup_s = 0.5
+measure_s = 6.0
+
+[aps]
+cols = 2
+rows = 1
+pitch_m = 40.0
+
+[stations]
+per_ap = 3
+radius_m = 5.0
+
+[churn]
+fraction = 0.3
+mean_on_s = 1.0
+mean_off_s = 0.5
+
+[roaming]
+fraction = 0.9
+speed_mps = 10.0
+hysteresis_m = 2.0
+
+[[traffic]]
+class = "cbr"
+weight = 1.0
+rate_mbps = 1.0
+
+[[traffic]]
+class = "web"
+weight = 1.0
+rate_mbps = 2.0
+burst_s = 0.5
+idle_s = 0.5
+
+[metrics]
+window_s = 0.5
+)";
+
+WorldSpec roam_spec() { return parse_world_spec_text(kRoamToml, "roam"); }
+
+TEST(Roaming, HandoffDeliversThroughTheNewApOnly) {
+  const WorldSpec spec = roam_spec();
+  BuiltWorld world(spec);
+
+  // Pick the first planned roamer; the plan is a pure function of the spec.
+  int roamer = -1;
+  for (std::size_t s = 0; s < world.plan().stations.size(); ++s) {
+    if (world.plan().stations[s].roams) {
+      roamer = static_cast<int>(s);
+      break;
+    }
+  }
+  ASSERT_GE(roamer, 0) << "spec must plan at least one roaming station";
+  const StationPlan& plan = world.plan().stations[static_cast<std::size_t>(roamer)];
+  const int station_id = world.station_node(roamer).id();
+
+  struct Handoff {
+    int from = -1, to = -1;
+    std::int64_t old_ap_attempts = 0;  // old AP's attempts at handoff time
+    std::size_t old_ap_queued = 0;     // old AP's queue right after handoff
+  };
+  std::vector<Handoff> handoffs;
+  world.on_handoff = [&](int station, int from, int to, Time) {
+    if (station != roamer) return;
+    Handoff h;
+    h.from = from;
+    h.to = to;
+    h.old_ap_attempts = world.ap_node(from).mac().dest_counters(station_id).attempts;
+    h.old_ap_queued = world.ap_node(from).mac().queue_size();
+    handoffs.push_back(h);
+  };
+
+  world.run();
+
+  ASSERT_FALSE(handoffs.empty()) << "the walk must cross the hysteresis point";
+  // First handoff leaves the home AP for the planned target.
+  EXPECT_EQ(handoffs.front().from, plan.ap);
+  EXPECT_EQ(handoffs.front().to, plan.roam_target_ap);
+
+  // After the final handoff, the serving AP keeps delivering...
+  const Handoff& last = handoffs.back();
+  const Mac::DestCounters& new_ap =
+      world.ap_node(last.to).mac().dest_counters(station_id);
+  EXPECT_GT(new_ap.successes, 0);
+
+  // ...while the abandoned AP sends at most the one frame that was already
+  // in service when its queue was flushed (plus its retries).
+  const Mac::DestCounters& old_ap =
+      world.ap_node(last.from).mac().dest_counters(station_id);
+  EXPECT_LE(old_ap.attempts - last.old_ap_attempts, 8)
+      << "old AP kept transmitting to the departed station";
+}
+
+TEST(Roaming, WorldIsDeterministicAcrossCampaignThreadCounts) {
+  // The roaming world as a campaign job: N-thread campaign output must be
+  // bit-identical to the 1-thread reference (the G80211_JOBS contract).
+  const auto body = [](std::uint64_t seed) {
+    WorldSpec spec = roam_spec();
+    spec.seed = seed;
+    spec.measure_s = 2.0;  // short: the campaign runs this 4x per sweep
+    BuiltWorld world(spec);
+    world.run();
+    return std::vector<double>{world.summary().honest_mbps.mean(),
+                               static_cast<double>(world.summary().handoffs),
+                               world.summary().honest_mbps.p50()};
+  };
+  const auto sweep = [&](unsigned threads) {
+    Campaign c("", {});
+    c.add("a", 0.0, 6, 2, body);
+    c.add("b", 1.0, 7, 2, body);
+    return c.run(threads);
+  };
+
+  const std::vector<CampaignPoint> one = sweep(1);
+  const std::vector<CampaignPoint> two = sweep(2);
+  ASSERT_EQ(one.size(), two.size());
+  std::int64_t total_handoffs = 0;
+  for (std::size_t p = 0; p < one.size(); ++p) {
+    ASSERT_EQ(one[p].median.size(), two[p].median.size());
+    for (std::size_t m = 0; m < one[p].median.size(); ++m) {
+      // Bitwise equality, not approximate: the determinism contract.
+      EXPECT_EQ(one[p].median[m], two[p].median[m]);
+      EXPECT_EQ(one[p].p25[m], two[p].p25[m]);
+      EXPECT_EQ(one[p].p75[m], two[p].p75[m]);
+    }
+    total_handoffs += static_cast<std::int64_t>(one[p].median[1]);
+  }
+  EXPECT_GT(total_handoffs, 0) << "sweep must exercise actual handoffs";
+}
+
+TEST(Roaming, QueueEraseDestDropsOnlyThatDestination) {
+  DropTailQueue q(8);
+  const auto pkt = [] { return PacketPtr{}; };
+  EXPECT_TRUE(q.push(pkt(), 1));
+  EXPECT_TRUE(q.push(pkt(), 2));
+  EXPECT_TRUE(q.push(pkt(), 1));
+  EXPECT_TRUE(q.push(pkt(), 3));
+  EXPECT_EQ(q.erase_dest(1), 2u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.erase_dest(1), 0u);
+  EXPECT_EQ(q.pop().second, 2);
+  EXPECT_EQ(q.pop().second, 3);
+  EXPECT_EQ(q.drops(), 0);  // erased packets are not congestion drops
+}
+
+}  // namespace

@@ -9,6 +9,10 @@
 // JSONL record per closed verdict window and per alert on stdout, and a
 // human-readable end-of-run summary per stream on stderr.
 //
+// Only JSONL journals are accepted: pcap drops the exact ticks, parameters
+// and ground truth the detectors need, so a pcap input (including one
+// handed to --follow) is rejected on its magic bytes with exit status 1.
+//
 // Options:
 //   --follow          tail growing journals: poll, sleep when idle, exit
 //                     when every journal's footer has been written

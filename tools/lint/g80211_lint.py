@@ -215,11 +215,25 @@ def live_includes(raw, stripped):
     return incs
 
 
+def layer_name(parts, layers):
+    """Longest [layers] key matching the directory path under src/.
+
+    `parts` are the path components after "src", excluding the filename.
+    Nested layers ("scenario/spec") shadow their parent for files inside
+    them; a nested directory with no own entry inherits the parent layer.
+    """
+    for depth in range(len(parts), 0, -1):
+        candidate = "/".join(parts[:depth])
+        if candidate in layers:
+            return candidate
+    return parts[0]
+
+
 def check_layering(rel, raw, stripped, layers, exceptions, out):
     parts = Path(rel).parts
     if len(parts) < 3 or parts[0] != "src":
         return
-    layer = parts[1]
+    layer = layer_name(parts[1:-1], layers)
     if layer not in layers:
         out.add(rel, 1, "layering", f"directory src/{layer}/ missing from deps.toml [layers]")
         return
@@ -235,7 +249,7 @@ def check_layering(rel, raw, stripped, layers, exceptions, out):
         tparts = Path(target).parts
         if len(tparts) < 3:
             continue
-        tlayer = tparts[1]
+        tlayer = layer_name(tparts[1:-1], layers)
         if tlayer in allowed_layers:
             continue
         exc = exceptions.get(f"{layer} -> {tlayer}", [])

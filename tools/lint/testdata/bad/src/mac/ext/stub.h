@@ -1,0 +1,10 @@
+// Support fixture for the nested-layer violation: the header a plain
+// mac/ file is forbidden from reaching (nested_dependency.h includes
+// this). Itself clean.
+#pragma once
+
+namespace g80211_fixture {
+
+inline int ext_state() { return 7; }
+
+}  // namespace g80211_fixture

@@ -1,0 +1,13 @@
+// Seeded violation: a parent layer reaching into its nested child
+// ("mac" -> "mac/ext") — nesting shadows the parent, it does not grant
+// the parent access. Mirrors the real contract: nothing in src/ may
+// include scenario/spec/.
+#pragma once
+
+#include "src/mac/ext/stub.h"
+
+namespace g80211_fixture {
+
+inline int peek_ext() { return ext_state(); }
+
+}  // namespace g80211_fixture

@@ -1,0 +1,12 @@
+// Clean fixture: a nested layer ("mac/ext", longest-prefix matched)
+// including its parent layer and the substrate below it.
+#pragma once
+
+#include "src/mac/uses_sim.h"
+#include "src/sim/ok.h"
+
+namespace g80211_fixture {
+
+inline Event ext_tagged(std::uint64_t when) { return tagged(when); }
+
+}  // namespace g80211_fixture
