@@ -30,7 +30,7 @@ class Backoff {
     const int slots = static_cast<int>(rng.uniform_int(cw_));
     cw_sum_ += cw_;
     ++cw_draws_;
-    ++cw_hist_[cw_];
+    ++cw_hist_[cw_];  // NOLINT(hot-path-alloc): first contact per CW rung only
     return slots;
   }
 

@@ -6,6 +6,8 @@ bool DedupCache::is_duplicate(int ta, int seq, bool retry, int frag) {
   const auto it = last_.find(ta);
   const bool dup = retry && it != last_.end() && it->second.first == seq &&
                    it->second.second == frag;
+  // NOLINTNEXTLINE(hot-path-alloc): inserts on first contact per
+  // transmitter; steady state overwrites the existing entry in place.
   last_[ta] = {seq, frag};
   return dup;
 }

@@ -46,6 +46,7 @@
 #include "src/mac/rate_control.h"
 #include "src/net/queue.h"
 #include "src/phy/phy.h"
+#include "src/sim/hot.h"
 #include "src/sim/scheduler.h"
 
 namespace g80211 {
@@ -167,10 +168,12 @@ class Mac : public PhyListener {
   const DestCounters& dest_counters(int dest) const;
 
   // --- PhyListener --------------------------------------------------------
-  void on_rx_end(const Frame& frame, const RxInfo& info) override;
-  void on_channel_busy() override;
-  void on_channel_idle() override;
-  void on_tx_end() override;
+  // Hot roots (src/sim/hot.h): the MAC state machine's entry points fire
+  // once per frame edge on the steady-state packet path.
+  G80211_HOT void on_rx_end(const Frame& frame, const RxInfo& info) override;
+  G80211_HOT void on_channel_busy() override;
+  G80211_HOT void on_channel_idle() override;
+  G80211_HOT void on_tx_end() override;
 
  private:
   enum class TxState { kIdle, kWaitCts, kWaitAck };
@@ -182,19 +185,20 @@ class Mac : public PhyListener {
   };
 
   bool medium_busy() const;
-  void reevaluate();           // (re)start deference if access is wanted
-  void on_defer_done();
+  // Hot roots (src/sim/hot.h): timer-slab callbacks enter here.
+  G80211_HOT void reevaluate();  // (re)start deference if access is wanted
+  G80211_HOT void on_defer_done();
   void pause_backoff();
-  void on_backoff_expired();
+  G80211_HOT void on_backoff_expired();
   void start_service();        // dequeue next packet, draw backoff
   void transmit_frame(const Frame& frame, Time airtime);  // tx tap + PHY
   void transmit_current();
   void send_rts();
   void send_data();
   void schedule_response(Frame response, TxKind kind);
-  void fire_response();
-  void on_cts_timeout();
-  void on_ack_timeout();
+  G80211_HOT void fire_response();
+  G80211_HOT void on_cts_timeout();
+  G80211_HOT void on_ack_timeout();
   void finish_success();
   void finish_drop();
   void handle_rx_rts(const Frame& frame);

@@ -47,6 +47,9 @@ bool Channel::may_interact(const Channel& other) const {
 }
 
 TxRecord* Channel::acquire_record() {
+  G80211_ALLOC_OK(
+      "pool growth stops at the high-water mark of concurrent "
+      "transmissions; steady state reuses the free list");
   if (free_records_.empty()) {
     records_.push_back(std::make_unique<TxRecord>());
     return records_.back().get();
@@ -59,6 +62,8 @@ TxRecord* Channel::acquire_record() {
 void Channel::release_record(TxRecord* rec) {
   rec->frame.packet.reset();  // drop the payload ref until the next reuse
   rec->sensed.clear();
+  // NOLINTNEXTLINE(hot-path-alloc): holds at most records_.size() entries,
+  // so capacity stops at the record-pool high-water mark.
   free_records_.push_back(rec);
 }
 
@@ -66,6 +71,9 @@ void Channel::release_record(TxRecord* rec) {
 // from positions for every frame. Kept for the SoA/scalar bit-identity
 // test; not the hot path.
 void Channel::transmit_scalar(TxRecord* rec, Phy* sender) {
+  G80211_ALLOC_OK(
+      "reference fan-out kept for the SoA/scalar bit-identity test; the "
+      "production sweep is the link-table path in transmit()");
   const Time now = sched_->now();
   for (Phy* rx : phys_) {
     if (rx == sender) continue;
@@ -124,6 +132,8 @@ void Channel::transmit(Phy* sender, const Frame& frame, Time airtime) {
   const double* pw = t.power_w.data();
   const double* pdbm = t.power_dbm.data();
   const std::uint8_t* dec = t.decodable.data();
+  // NOLINTNEXTLINE(hot-path-alloc): the pooled record's vector reuses its
+  // capacity; it grows only until the fan-out high-water mark.
   rec->sensed.assign(rxs, rxs + n);
   for (std::size_t i = 0; i < n; ++i) {
     rxs[i]->incoming_start(*rec, pw[i], pdbm[i], dec[i] != 0, now);

@@ -21,6 +21,7 @@
 #include "src/phy/error_model.h"
 #include "src/phy/propagation.h"
 #include "src/phy/wifi_params.h"
+#include "src/sim/hot.h"
 #include "src/sim/scheduler.h"
 
 namespace g80211 {
@@ -65,6 +66,9 @@ struct NeighborSoA {
     decodable.clear();
   }
   void add(Phy* receiver, double p_w, double p_dbm, bool dec) {
+    G80211_ALLOC_OK(
+        "link-table rebuild runs on topology/propagation change, not per "
+        "frame; the arrays re-reach their high-water capacity and stay");
     rx.push_back(receiver);
     power_w.push_back(p_w);
     power_dbm.push_back(p_dbm);
@@ -104,8 +108,9 @@ class Channel {
   void attach(Phy* phy);
   const std::vector<Phy*>& phys() const { return phys_; }
 
-  // Broadcast `frame` from `sender` for `airtime`.
-  void transmit(Phy* sender, const Frame& frame, Time airtime);
+  // Broadcast `frame` from `sender` for `airtime`. Hot root: the
+  // per-frame fan-out sweep (src/sim/hot.h).
+  G80211_HOT void transmit(Phy* sender, const Frame& frame, Time airtime);
 
   // Sender's link table (see NeighborSoA). Rebuilt lazily when the
   // topology generation moved (attach, set_position, set_ranges) or

@@ -111,6 +111,8 @@ double ErrorModel::cached_fer(int tx, int rx, int len) const {
     }
   }
   const double f = fer(ber(tx, rx), len);
+  // NOLINTNEXTLINE(hot-path-alloc): first contact per (link, frame length);
+  // every later frame on the link hits the memo scan above.
   if (memo != nullptr) memo->by_len.emplace_back(len, f);
   return f;
 }

@@ -26,6 +26,7 @@
 #include "src/phy/channel.h"
 #include "src/phy/propagation.h"
 #include "src/sim/check.h"
+#include "src/sim/hot.h"
 #include "src/sim/rng.h"
 #include "src/sim/scheduler.h"
 
@@ -83,8 +84,9 @@ class Phy {
   double rssi_outlier_db = 2.5;
 
   // Begin transmitting; the PHY must not already be transmitting. Any
-  // in-progress reception is aborted (half duplex).
-  void transmit(const Frame& frame, Time airtime);
+  // in-progress reception is aborted (half duplex). Hot root
+  // (src/sim/hot.h): every frame passes through here.
+  G80211_HOT void transmit(const Frame& frame, Time airtime);
 
   // Channel-facing reception path. `rec` stays valid until this PHY's
   // incoming_end(rec.tx_id) returns (the channel releases the record after
@@ -94,8 +96,8 @@ class Phy {
   // channel's per-frame fan-out sweep.
   // `now` is the scheduler clock, hoisted out of the channel's fan-out
   // loop so the sweep pays the load once per frame, not per receiver.
-  void incoming_start(const TxRecord& rec, double rss_w, double rss_dbm,
-                      bool decodable, Time now) {
+  G80211_HOT void incoming_start(const TxRecord& rec, double rss_w,
+                                 double rss_dbm, bool decodable, Time now) {
     const bool was_busy = carrier_busy();
 
     if (!transmitting_) {
@@ -123,13 +125,15 @@ class Phy {
         }
       }
     }
+    // NOLINTNEXTLINE(hot-path-alloc): reserve(8) in the ctor; grows only
+    // past 8 concurrent receptions and then holds the high-water capacity.
     ongoing_.push_back(
         Ongoing{rec.tx_id, &rec.frame, rss_w, rss_dbm, now, rec.end, decodable});
     ongoing_power_w_ += rss_w;
     notify_edges(was_busy);
   }
 
-  void incoming_end(std::uint64_t tx_id) {
+  G80211_HOT void incoming_end(std::uint64_t tx_id) {
     std::size_t i = 0;
     while (i < ongoing_.size() && ongoing_[i].tx_id != tx_id) ++i;
     G80211_DCHECK(i < ongoing_.size());
@@ -177,8 +181,9 @@ class Phy {
   }
   // Delivery tail for the frame this PHY was demodulating: frame error
   // model, RSSI measurement, listener dispatch. Out of line — it runs once
-  // per addressed frame, not once per (frame, receiver).
-  void finish_reception(const Ongoing& o, bool collided);
+  // per addressed frame, not once per (frame, receiver). Hot root
+  // (src/sim/hot.h).
+  G80211_HOT void finish_reception(const Ongoing& o, bool collided);
 
   Channel* channel_;
   int id_;

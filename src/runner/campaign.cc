@@ -64,6 +64,9 @@ std::vector<CampaignPoint> Campaign::run(unsigned thread_override) {
     for (std::size_t j = 0; j < jobs_.size(); ++j) {
       const CampaignJob& job = jobs_[j];
       for (int r = 0; r < job.runs; ++r) {
+        // pool.wait() below fences every job before job/raw/run_ms leave
+        // scope — the block owns the pool, so the by-ref captures are safe.
+        // NOLINTNEXTLINE(callback-capture): frame outlives the pool
         pool.submit([&job, &raw, &run_ms, j, r] {
           const auto rt0 = std::chrono::steady_clock::now();
           raw[j][static_cast<std::size_t>(r)] =

@@ -123,8 +123,11 @@ ShardedSim::ShardedSim(const ShardedWorldSpec& spec, int num_shards,
     // Each shard's Sim is built on its pinned worker so every node, event
     // and packet it will ever own is born on the thread that runs it.
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      pool_.submit_to(static_cast<unsigned>(s),
-                      [this, &spec, s] { build_shard(spec, static_cast<int>(s)); });
+      pool_.submit_to(
+          static_cast<unsigned>(s),
+          // pool_.wait() below fences every build_shard before `spec` dies.
+          // NOLINTNEXTLINE(callback-capture): frame outlives the pool
+          [this, &spec, s] { build_shard(spec, static_cast<int>(s)); });
     }
     pool_.wait();
     validate_partition();

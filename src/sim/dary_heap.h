@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/sim/check.h"
+#include "src/sim/hot.h"
 
 namespace g80211 {
 
@@ -38,6 +39,9 @@ class DaryHeap {
   }
 
   void push(const T& x) {
+    G80211_ALLOC_OK(
+        "heap storage is amortized: capacity stops at the pending-event "
+        "high-water mark and is reused for the rest of the run");
     v_.push_back(x);
     sift_up(v_.size() - 1);
   }

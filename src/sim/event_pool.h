@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/sim/check.h"
+#include "src/sim/hot.h"
 #include "src/sim/inplace_function.h"
 
 namespace g80211 {
@@ -47,10 +48,17 @@ class EventPool {
   // temporary) when a raw lambda is passed.
   template <typename F>
   std::uint32_t alloc(F&& fn) {
+    G80211_ALLOC_OK(
+        "slab growth stops at the event high-water mark; steady state "
+        "reuses slots through the free list");
     std::uint32_t idx;
     if (free_.empty()) {
       if (size_ == chunks_.size() * kChunkSize) {
         chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+        // Keep fire()/release() allocation-free: the free list can hold at
+        // most one entry per slot, so reserving alongside chunk growth
+        // means its push_back never reallocates mid-callback.
+        free_.reserve(chunks_.size() * kChunkSize);
       }
       idx = static_cast<std::uint32_t>(size_++);
     } else {
@@ -91,6 +99,8 @@ class EventPool {
     ++s.generation;  // odd -> even: live handles stop matching
     s.fn();
     s.fn.reset();
+    // NOLINTNEXTLINE(hot-path-alloc): capacity reserved at chunk growth in
+    // alloc() — one slot per possible entry, so this never reallocates.
     free_.push_back(idx);
   }
 
@@ -100,6 +110,8 @@ class EventPool {
     G80211_DCHECK((s.generation & 1) != 0 && "double free of event slot");
     s.fn.reset();
     ++s.generation;  // odd -> even: free
+    // NOLINTNEXTLINE(hot-path-alloc): capacity reserved at chunk growth in
+    // alloc() — one slot per possible entry, so this never reallocates.
     free_.push_back(idx);
   }
 

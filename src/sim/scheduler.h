@@ -21,6 +21,7 @@
 #include "src/sim/check.h"
 #include "src/sim/dary_heap.h"
 #include "src/sim/event_pool.h"
+#include "src/sim/hot.h"
 #include "src/sim/time.h"
 #include "src/sim/timing_wheel.h"
 
@@ -92,7 +93,9 @@ class Scheduler {
   }
 
   // Run every event with time <= horizon. The clock ends at `horizon`.
-  void run_until(Time horizon);
+  // Hot root: the event drain is the simulator's main loop, and the AST
+  // analyzer walks the packet path from here (src/sim/hot.h).
+  G80211_HOT void run_until(Time horizon);
   // Run until no events remain.
   void run();
 

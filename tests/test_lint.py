@@ -54,6 +54,7 @@ def main():
         "src/sim/wallclock.cc": {"nondet-wallclock"},
         "src/sim/steadyclock.cc": {"nondet-steadyclock"},
         "src/sim/unordered_iter.cc": {"nondet-unordered-iter"},
+        "src/sim/unordered_iter_it.cc": {"nondet-unordered-iter"},
         "src/sim/bare_assert.cc": {"bare-assert"},
         "src/sim/packet_heap.cc": {"packet-arena"},
         "src/sim/guarded.h": {"pragma-once"},

@@ -1,0 +1,31 @@
+// Fixture: sharded-engine isolation violations. Expected:
+// [shard-isolation] for the mutable namespace-scope global, the
+// function-static counter, and the pointer member in an EpochMailbox
+// payload type (boundary packets must cross shards by value).
+#include <vector>
+
+template <class T>
+class EpochMailbox {
+ public:
+  void push(T v);
+};
+
+struct Packet {
+  int bytes;
+};
+
+struct Boundary {
+  double deliver_at;
+  Packet* pkt;
+};
+
+int packets_in_flight = 0;
+
+struct ShardedSim {
+  std::vector<EpochMailbox<Boundary>> mailboxes_;
+
+  int route() {
+    static int counter = 0;
+    return ++counter;
+  }
+};

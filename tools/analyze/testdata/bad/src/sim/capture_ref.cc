@@ -1,0 +1,28 @@
+// Fixture: every lambda here is handed to a slab callback registrar
+// while capturing frame-local state by reference or raw pointer.
+// Expected: [callback-capture] x3.
+
+struct Scheduler {
+  template <class F>
+  void after(double delay, F fn);
+};
+
+struct Node {
+  Scheduler* sched_;
+  int total_ = 0;
+
+  void arm_default_ref() {
+    int pending = 3;
+    sched_->after(1.0, [&] { total_ += pending; });
+  }
+
+  void arm_named_ref() {
+    int budget = 7;
+    sched_->after(1.0, [this, &budget] { total_ += budget; });
+  }
+
+  void arm_raw_pointer() {
+    int scratch = 0;
+    sched_->after(1.0, [this, p = &scratch] { total_ += *p; });
+  }
+};

@@ -1,0 +1,34 @@
+// Fixture: throws escaping slab callbacks. Expected: [event-path-throw]
+// for the literal throw inside a scheduled lambda and for the throw in a
+// non-noexcept function the callback reaches through the call graph.
+#include <stdexcept>
+
+struct Scheduler {
+  template <class F>
+  void after(double delay, F fn);
+};
+
+struct Mac {
+  Scheduler* sched_;
+  int retries_ = 0;
+
+  void validate(int v);
+
+  void arm_direct() {
+    sched_->after(1.0, [this] {
+      if (retries_ > 7) {
+        throw std::runtime_error("retry overflow");
+      }
+    });
+  }
+
+  void arm_indirect() {
+    sched_->after(2.0, [this] { validate(retries_); });
+  }
+};
+
+void Mac::validate(int v) {
+  if (v < 0) {
+    throw std::logic_error("negative retry count");
+  }
+}

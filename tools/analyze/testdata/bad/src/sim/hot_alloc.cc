@@ -1,0 +1,24 @@
+// Fixture: allocations reachable from a G80211_HOT root, none excused.
+// Expected: [hot-path-alloc] for the direct `new`, the push_back reached
+// through the call graph, and the map operator[].
+#include "src/sim/hot.h"
+
+#include <map>
+#include <vector>
+
+struct Backlog {
+  std::vector<int> entries_;
+  void remember(int v) { entries_.push_back(v); }
+};
+
+struct Engine {
+  Backlog backlog_;
+  std::map<int, int> per_station_;
+  int* spare_ = nullptr;
+
+  G80211_HOT void drain() {
+    spare_ = new int(4);
+    backlog_.remember(7);
+    per_station_[3] += 1;
+  }
+};

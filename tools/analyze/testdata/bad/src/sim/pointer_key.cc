@@ -1,0 +1,18 @@
+// Fixture: ordered associative containers keyed on raw pointers order by
+// address, which varies run to run. Expected: [nondet-pointer-key] for
+// the member and the local.
+#include <map>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+struct Registry {
+  std::set<Node*> members_;
+
+  int rank_locals() {
+    std::map<Node*, int> ranks;
+    return static_cast<int>(ranks.size());
+  }
+};

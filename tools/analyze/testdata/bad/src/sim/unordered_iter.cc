@@ -1,0 +1,33 @@
+// Fixture: unordered-container iteration in the three shapes the regex
+// lint cannot or can only partially see. Expected: [nondet-unordered-iter]
+// for the iterator loop, the std::accumulate call, and the range-for over
+// a member (type resolved through the class, not the loop line).
+#include <numeric>
+#include <unordered_map>
+
+struct Stats {
+  std::unordered_map<int, double> by_station_;
+
+  double sum_iterator_loop() {
+    double total = 0.0;
+    for (auto it = by_station_.begin(); it != by_station_.end(); ++it) {
+      total += it->second;
+    }
+    return total;
+  }
+
+  double sum_accumulate() {
+    return std::accumulate(by_station_.begin(), by_station_.end(), 0.0,
+                           [](double acc, const auto& kv) {
+                             return acc + kv.second;
+                           });
+  }
+
+  double sum_range_for() {
+    double total = 0.0;
+    for (const auto& kv : by_station_) {
+      total += kv.second;
+    }
+    return total;
+  }
+};

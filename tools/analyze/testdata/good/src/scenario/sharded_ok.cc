@@ -1,0 +1,28 @@
+// Fixture: sharded engine done right — constant globals only, no
+// function statics, and the EpochMailbox payload crosses by value.
+#include <vector>
+
+template <class T>
+class EpochMailbox {
+ public:
+  void push(T v);
+};
+
+struct Packet {
+  int bytes;
+};
+
+struct Boundary {
+  double deliver_at;
+  int link;
+  Packet packet;
+};
+
+constexpr int kMaxShards = 64;
+
+struct ShardedSim {
+  std::vector<EpochMailbox<Boundary>> mailboxes_;
+  int epoch_ = 0;
+
+  int route() { return ++epoch_; }
+};

@@ -1,0 +1,31 @@
+// Fixture: safe callback registration — `this` and by-value captures
+// only, and callbacks declared noexcept. Scans clean.
+
+struct Scheduler {
+  template <class F>
+  void after(double delay, F fn);
+};
+
+struct ThreadPool {
+  template <class F>
+  void submit(F task);
+};
+
+struct Node {
+  Scheduler* sched_;
+  ThreadPool* pool_;
+  int state_ = 0;
+
+  void arm_this() {
+    sched_->after(1.0, [this]() noexcept { state_ += 1; });
+  }
+
+  void arm_value(int seq) {
+    sched_->after(2.0, [this, seq]() noexcept { state_ = seq; });
+  }
+
+  void arm_init_value() {
+    int snapshot = state_;
+    pool_->submit([this, copy = snapshot]() noexcept { state_ = copy; });
+  }
+};

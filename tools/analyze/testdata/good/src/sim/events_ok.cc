@@ -1,0 +1,24 @@
+// Fixture: event-path exception discipline — callbacks are noexcept, and
+// invariant failures route through G80211_CHECK (the sanctioned thrower
+// in src/sim/check.h), which the analyzer treats as opaque.
+
+struct Scheduler {
+  template <class F>
+  void after(double delay, F fn);
+};
+
+struct Mac {
+  Scheduler* sched_;
+  int retries_ = 0;
+
+  void arm() {
+    sched_->after(1.0, [this]() noexcept { retries_ += 1; });
+  }
+
+  void arm_checked() {
+    sched_->after(2.0, [this] {
+      G80211_CHECK(retries_ <= 7);
+      retries_ += 1;
+    });
+  }
+};

@@ -1,0 +1,25 @@
+// Fixture: a hot root that stays on the arena, with one helper that
+// allocates but excuses itself via G80211_ALLOC_OK. Scans clean.
+#include "src/sim/hot.h"
+
+#include <vector>
+
+struct PacketArena {
+  void* alloc(int bytes);
+};
+
+struct Engine {
+  PacketArena arena_;
+  std::vector<int> cold_log_;
+
+  G80211_HOT void drain() {
+    void* p = arena_.alloc(64);
+    (void)p;
+    record(7);
+  }
+
+  void record(int v) {
+    G80211_ALLOC_OK("cold bootstrap: the log only grows before steady state");
+    cold_log_.push_back(v);
+  }
+};

@@ -1,0 +1,32 @@
+// Fixture: ordered iteration and value-keyed containers are fine; an
+// unordered container is fine too as long as nothing iterates it.
+#include <map>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+struct Stats {
+  std::map<int, double> by_station_;
+  std::set<int> seen_;
+  std::unordered_map<int, double> cache_;
+
+  double sum_range_for() {
+    double total = 0.0;
+    for (const auto& kv : by_station_) {
+      total += kv.second;
+    }
+    return total;
+  }
+
+  double sum_accumulate() {
+    return std::accumulate(by_station_.begin(), by_station_.end(), 0.0,
+                           [](double acc, const auto& kv) {
+                             return acc + kv.second;
+                           });
+  }
+
+  double lookup(int station) {
+    auto it = cache_.find(station);
+    return it == cache_.end() ? 0.0 : it->second;
+  }
+};

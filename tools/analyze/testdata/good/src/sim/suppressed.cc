@@ -1,0 +1,42 @@
+// Fixture: real violations of every line-anchored rule, each suppressed
+// with the shared rule-scoped NOLINT policy. Scans clean — a suppression
+// must name the rule id and carry a reason, on the offending line.
+#include "src/sim/hot.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+struct Scheduler {
+  template <class F>
+  void after(double delay, F fn);
+};
+
+struct Node {
+  int id;
+};
+
+struct Suppressed {
+  Scheduler* sched_;
+  std::unordered_map<int, double> cache_;
+  std::vector<int> log_;
+  int total_ = 0;
+  std::set<Node*> members_;  // NOLINT(nondet-pointer-key): fixture — order never observed
+
+  void arm() {
+    int pending = 3;
+    sched_->after(0.0, [&] { total_ += pending; });  // NOLINT(callback-capture): fixture — fires at t=0, frame still live
+  }
+
+  G80211_HOT void drain() {
+    log_.push_back(total_);  // NOLINT(hot-path-alloc): fixture — amortized growth
+  }
+
+  double sum() {
+    double total = 0.0;
+    for (const auto& kv : cache_) {  // NOLINT(nondet-unordered-iter): fixture — commutative reduction
+      total += kv.second;
+    }
+    return total;
+  }
+};

@@ -1,0 +1,5 @@
+// Fixture: this translation unit exists on disk but is absent from the
+// checked-in compile_commands.json — the analyzer must refuse to scan
+// (exit 2) instead of silently shrinking its coverage.
+
+int orphan() { return 42; }

@@ -24,7 +24,8 @@ Rules (IDs are stable; tests and NOLINT suppressions reference them):
                         src/runner/ (the campaign runner may measure
                         elapsed host time for progress reporting; the
                         engine may not).
-  nondet-unordered-iter range-for over a std::unordered_{map,set,...}:
+  nondet-unordered-iter range-for or iterator loop over a
+                        std::unordered_{map,set,...}:
                         bucket order is implementation-defined, so any
                         simulation-visible state it feeds breaks
                         bit-identity. Use an ordered container or sort
@@ -292,6 +293,17 @@ def check_determinism(rel, raw, stripped, out):
                 out.add(rel, i, "nondet-unordered-iter",
                         f"iteration over unordered container '{range_expr}': bucket "
                         "order is implementation-defined", raw[i - 1])
+        # Iterator-style loops over the same containers: `for (auto it =
+        # m.begin(); ...)`. This regex is the fast pre-check; the AST
+        # analyzer (tools/analyze/g80211_ast.py) is authoritative and also
+        # catches member containers and std::accumulate-style iterator
+        # pairs that no line regex can see.
+        im = re.search(r"for\s*\([^;:()]*[=(]\s*(\w+)\s*\.\s*c?begin\s*\(",
+                       line)
+        if im and im.group(1) in unordered_vars:
+            out.add(rel, i, "nondet-unordered-iter",
+                    f"iterator loop over unordered container '{im.group(1)}': "
+                    "bucket order is implementation-defined", raw[i - 1])
 
 
 def check_hygiene(rel, raw, stripped, out):

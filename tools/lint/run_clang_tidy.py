@@ -41,6 +41,26 @@ def main():
         db = json.load(f)
 
     root = Path.cwd().resolve()
+
+    # A stale database silently shrinks the scan to whatever cmake knew
+    # about last configure: every on-disk first-party .cc must be present,
+    # or the run is not trustworthy and must die loudly.
+    known = set()
+    for entry in db:
+        f = Path(entry["file"])
+        if not f.is_absolute():
+            f = Path(entry.get("directory", ".")) / f
+        known.add(f.resolve())
+    stale = [cc for cc in sorted((root / "src").rglob("*.cc"))
+             if cc.resolve() not in known]
+    if stale:
+        names = ", ".join(str(s.relative_to(root)) for s in stale[:5])
+        print(f"run_clang_tidy: {db_path} is stale — {len(stale)} "
+              f"translation unit(s) on disk are not in the database "
+              f"({names}{', ...' if len(stale) > 5 else ''}). Re-run "
+              f"`cmake -B {args.build_dir} -S .` to regenerate it, then "
+              "retry.", file=sys.stderr)
+        return 2
     files = []
     for entry in db:
         f = Path(entry["file"])

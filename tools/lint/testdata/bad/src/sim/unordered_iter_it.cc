@@ -1,0 +1,17 @@
+// Seeded violation: the iterator-loop spelling of hash-order iteration.
+// The range-for regex used to be the only detector, so this shape slipped
+// through; it is exactly as order-dependent as the range-for.
+#include <unordered_map>
+
+namespace g80211_fixture {
+
+int sum_in_bucket_order_it() {
+  std::unordered_map<int, int> nav_by_node{{1, 2}, {3, 4}};
+  int sum = 0;
+  for (auto it = nav_by_node.begin(); it != nav_by_node.end(); ++it) {
+    sum += it->second;
+  }
+  return sum;
+}
+
+}  // namespace g80211_fixture
